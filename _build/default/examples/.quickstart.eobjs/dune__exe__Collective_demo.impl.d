@@ -1,0 +1,1 @@
+examples/collective_demo.ml: Array Format Leaf_spine List Network Rate Schedule Sim_time Stdlib Workload

@@ -1,0 +1,1 @@
+examples/collective_demo.mli:

@@ -1,0 +1,1 @@
+examples/failure_fallback.ml: Array Engine Flow_id Format Leaf_spine Network Option Rnic Sim_time Topology Workload

@@ -1,0 +1,1 @@
+examples/fat_tree_demo.ml: Array Fat_tree Fat_tree_net Format Network Rnic Sim_time Switch

@@ -1,0 +1,1 @@
+examples/fat_tree_demo.mli:

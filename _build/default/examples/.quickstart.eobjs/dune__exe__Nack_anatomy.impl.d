@@ -1,0 +1,1 @@
+examples/nack_anatomy.ml: Flow_id Flow_table Format List Packet Psn Psn_queue String Themis_d

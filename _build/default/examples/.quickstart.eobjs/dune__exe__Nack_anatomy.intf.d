@@ -1,0 +1,1 @@
+examples/nack_anatomy.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Leaf_spine Network Rnic Sim_time

@@ -1,0 +1,1 @@
+lib/collective/runner.ml: List Schedule Sim_time

@@ -1,0 +1,1 @@
+lib/collective/runner.mli: Schedule Sim_time

@@ -1,0 +1,1 @@
+lib/collective/schedule.ml: Format Fun List Stdlib

@@ -1,0 +1,1 @@
+lib/collective/schedule.mli: Format

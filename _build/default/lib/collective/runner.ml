@@ -1,0 +1,56 @@
+type t = {
+  post :
+    src:int -> dst:int -> bytes:int -> on_complete:(Sim_time.t -> unit) -> unit;
+  on_complete : Sim_time.t -> unit;
+  mutable remaining_steps : Schedule.t;
+  mutable step_index : int;
+  mutable outstanding : int;
+  mutable finished : bool;
+  mutable completion : Sim_time.t option;
+}
+
+let rec launch_step t =
+  match t.remaining_steps with
+  | [] -> assert false
+  | step :: rest ->
+      t.remaining_steps <- rest;
+      t.outstanding <- List.length step;
+      List.iter
+        (fun { Schedule.src; dst; bytes } ->
+          t.post ~src ~dst ~bytes ~on_complete:(fun time ->
+              transfer_done t time))
+        step
+
+and transfer_done t time =
+  t.outstanding <- t.outstanding - 1;
+  if t.outstanding = 0 then begin
+    t.step_index <- t.step_index + 1;
+    match t.remaining_steps with
+    | [] ->
+        t.finished <- true;
+        t.completion <- Some time;
+        t.on_complete time
+    | _ :: _ -> launch_step t
+  end
+
+let start ~schedule ~post ~on_complete =
+  if schedule = [] then invalid_arg "Runner.start: empty schedule";
+  if List.exists (fun s -> s = []) schedule then
+    invalid_arg "Runner.start: empty step";
+  let t =
+    {
+      post;
+      on_complete;
+      remaining_steps = schedule;
+      step_index = 0;
+      outstanding = 0;
+      finished = false;
+      completion = None;
+    }
+  in
+  launch_step t;
+  t
+
+let finished t = t.finished
+let completion_time t = t.completion
+let current_step t = t.step_index

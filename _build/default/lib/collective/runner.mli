@@ -1,0 +1,31 @@
+(** Executes a {!Schedule.t} over a communication group.
+
+    The runner is transport-agnostic: the caller supplies a [post]
+    function mapping a rank-to-rank transfer onto the underlying QP.  All
+    transfers of a step are posted together; the next step starts when
+    every transfer of the current step has completed (the synchronized,
+    bursty behaviour of collective communication).
+
+    Many groups typically run concurrently (one runner each); the
+    experiment metric is the completion time of the slowest group. *)
+
+type t
+
+val start :
+  schedule:Schedule.t ->
+  post:
+    (src:int ->
+    dst:int ->
+    bytes:int ->
+    on_complete:(Sim_time.t -> unit) ->
+    unit) ->
+  on_complete:(Sim_time.t -> unit) ->
+  t
+(** Posts the first step immediately.  [on_complete] fires (with the
+    simulated completion time) once the last transfer of the last step
+    has completed. *)
+
+val finished : t -> bool
+val completion_time : t -> Sim_time.t option
+val current_step : t -> int
+(** Index of the step currently in flight (= total steps when done). *)

@@ -1,0 +1,1 @@
+lib/core/flow_table.ml: Flow_id Psn Psn_queue

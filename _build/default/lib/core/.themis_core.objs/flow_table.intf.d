@@ -1,0 +1,1 @@
+lib/core/flow_table.mli: Flow_id Psn Psn_queue

@@ -1,0 +1,1 @@
+lib/core/memory_model.ml: Flow_table Format Psn_queue Rate Sim_time

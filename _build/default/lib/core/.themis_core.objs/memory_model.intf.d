@@ -1,0 +1,1 @@
+lib/core/memory_model.mli: Format Rate Sim_time

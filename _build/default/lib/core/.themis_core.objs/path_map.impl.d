@@ -1,0 +1,1 @@
+lib/core/path_map.ml: Array Ecmp_hash Headers

@@ -1,0 +1,1 @@
+lib/core/psn_queue.ml: Array Float List Psn Rate Sim_time Stdlib

@@ -1,0 +1,1 @@
+lib/core/psn_queue.mli: Psn Rate Sim_time

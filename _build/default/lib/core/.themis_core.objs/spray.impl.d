@@ -1,0 +1,1 @@
+lib/core/spray.ml: Ecmp_hash Flow_id Headers Psn

@@ -1,0 +1,1 @@
+lib/core/spray.mli: Flow_id Psn

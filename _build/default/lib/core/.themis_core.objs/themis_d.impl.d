@@ -1,0 +1,1 @@
+lib/core/themis_d.ml: Flow_id Flow_table Packet Psn Psn_queue Spray

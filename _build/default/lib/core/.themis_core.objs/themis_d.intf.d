@@ -1,0 +1,1 @@
+lib/core/themis_d.mli: Flow_id Flow_table Packet Psn

@@ -1,0 +1,1 @@
+lib/core/themis_s.ml: Packet Path_map Psn Spray

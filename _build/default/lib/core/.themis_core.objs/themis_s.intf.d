@@ -1,0 +1,1 @@
+lib/core/themis_s.mli: Packet Path_map

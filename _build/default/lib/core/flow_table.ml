@@ -1,0 +1,37 @@
+type entry = {
+  queue : Psn_queue.t;
+  mutable bepsn : Psn.t;
+  mutable valid : bool;
+}
+
+type t = { queue_capacity : int; entries : entry Flow_id.Table.t }
+
+let entry_bytes = 20
+
+let create ~queue_capacity =
+  if queue_capacity < 1 then invalid_arg "Flow_table.create: queue_capacity";
+  { queue_capacity; entries = Flow_id.Table.create 64 }
+
+let find_or_add t flow =
+  match Flow_id.Table.find_opt t.entries flow with
+  | Some e -> e
+  | None ->
+      let e =
+        {
+          queue = Psn_queue.create ~capacity:t.queue_capacity;
+          bepsn = Psn.zero;
+          valid = false;
+        }
+      in
+      Flow_id.Table.add t.entries flow e;
+      e
+
+let find t flow = Flow_id.Table.find_opt t.entries flow
+let remove t flow = Flow_id.Table.remove t.entries flow
+let size t = Flow_id.Table.length t.entries
+let iter f t = Flow_id.Table.iter f t.entries
+
+let memory_bytes t =
+  Flow_id.Table.fold
+    (fun _ e acc -> acc + entry_bytes + Psn_queue.capacity e.queue)
+    t.entries 0

@@ -1,0 +1,34 @@
+(** The destination-ToR flow table (Fig. 4a).
+
+    One entry per cross-rack QP, created when the ToR observes the QP
+    (connection-setup interception in the paper; explicit registration
+    here).  An entry carries the ring-based PSN queue used for tPSN
+    identification and the [BePSN]/[Valid] pair driving NACK compensation.
+
+    Per Section 4 an entry costs 20 bytes on the switch: 13 (QP id) +
+    3 (blocked ePSN) + 1 (valid flag) + 3 (queue metadata). *)
+
+type entry = {
+  queue : Psn_queue.t;
+  mutable bepsn : Psn.t;  (** Blocked ePSN; meaningful only when [valid]. *)
+  mutable valid : bool;
+      (** True when a blocked NACK for [bepsn] may still need
+          compensation. *)
+}
+
+type t
+
+val entry_bytes : int
+(** 20 (Section 4). *)
+
+val create : queue_capacity:int -> t
+(** [queue_capacity] sizes each new entry's PSN queue. *)
+
+val find_or_add : t -> Flow_id.t -> entry
+val find : t -> Flow_id.t -> entry option
+val remove : t -> Flow_id.t -> unit
+val size : t -> int
+val iter : (Flow_id.t -> entry -> unit) -> t -> unit
+
+val memory_bytes : t -> int
+(** Switch SRAM the table would occupy: entries * (20 + queue capacity). *)

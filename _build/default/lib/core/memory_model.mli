@@ -1,0 +1,40 @@
+(** The analytical switch-memory model of Section 4.
+
+    {v
+    M_PathMap = N_paths * 2 bytes
+    N_entries = ceil (BW * RTT_last * F / MTU)
+    M_QP      = 20 bytes + N_entries * 1 byte
+    M_total   = M_PathMap + M_QP * N_QP * N_NIC          (Eq. 4)
+    v}
+
+    With the Table 1 reference values (fat-tree k = 32: N_paths = 256,
+    400 Gbps last hop, 2 us RTT, 16 NICs/ToR, 100 cross-rack QPs per NIC,
+    1500 B MTU, F = 1.5) this yields M_total ~ 193 KB, about 0.6 % of a
+    64 MB Tofino SRAM. *)
+
+type params = {
+  n_paths : int;  (** Equal-cost paths (Table 1: 256). *)
+  bw : Rate.t;  (** Last-hop bandwidth (400 Gbps). *)
+  rtt_last : Sim_time.t;  (** Last-hop RTT (2 us). *)
+  n_nic : int;  (** NICs per ToR (16). *)
+  n_qp : int;  (** Cross-rack QPs per RNIC (100). *)
+  mtu : int;  (** 1500 B. *)
+  factor : float;  (** Queue capacity expansion factor F (1.5). *)
+}
+
+val table1 : params
+(** The reference values of Table 1. *)
+
+val pathmap_bytes : params -> int
+val n_entries : params -> int
+val per_qp_bytes : params -> int
+val total_bytes : params -> int
+
+val fraction_of_sram : params -> sram_bytes:int -> float
+(** [total / sram]. The paper quotes 64 MB Tofino SRAM. *)
+
+val tofino_sram_bytes : int
+(** 64 MB. *)
+
+val pp_report : Format.formatter -> params -> unit
+(** Renders Table 1 plus the derived quantities of the worked example. *)

@@ -1,0 +1,42 @@
+type t = { paths : int; deltas : int array }
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let build ~paths =
+  if (not (is_power_of_two paths)) || paths > 65536 then
+    invalid_arg "Path_map.build: paths must be a power of two <= 65536";
+  let deltas = Array.make paths (-1) in
+  let remaining = ref paths in
+  (* Scan sport deltas; [linear16 d mod paths] is the path shift that
+     flipping the bits of [d] induces (XOR into the hash's low bits). *)
+  let d = ref 0 in
+  while !remaining > 0 && !d < 65536 do
+    let shift = Ecmp_hash.linear16 !d land (paths - 1) in
+    if deltas.(shift) = -1 then begin
+      deltas.(shift) <- !d;
+      decr remaining
+    end;
+    incr d
+  done;
+  if !remaining > 0 then failwith "Path_map.build: entropy hash does not cover all residues";
+  { paths; deltas }
+
+let paths t = t.paths
+let delta_sport t ~delta_path = t.deltas.(delta_path land (t.paths - 1))
+let rewrite t ~sport ~delta_path = sport lxor delta_sport t ~delta_path
+let memory_bytes t = t.paths * 2
+
+let verify t ~src ~dst ~sport =
+  let path_of sp =
+    Ecmp_hash.path_of_hash
+      ~hash:
+        (Ecmp_hash.flow_hash ~src ~dst ~sport:sp ~dport:Headers.roce_dst_port)
+      ~paths:t.paths
+  in
+  let base = path_of sport in
+  let ok = ref true in
+  for delta = 0 to t.paths - 1 do
+    let got = path_of (rewrite t ~sport ~delta_path:delta) in
+    if got <> base lxor delta then ok := false
+  done;
+  !ok

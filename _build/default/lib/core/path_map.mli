@@ -1,0 +1,51 @@
+(** Offline PathMap construction (Section 3.2, Fig. 3).
+
+    In fabrics deeper than two tiers the source ToR cannot pick the whole
+    path by choosing an egress port; instead it re-writes the UDP source
+    port so that the downstream ECMP hashes steer the packet onto the
+    desired relative path.  Because production ECMP hashes are GF(2)-linear
+    in the source port (Zhang et al., ATC'21), flipping a fixed set of
+    sport bits shifts the selected path by a fixed delta — independent of
+    the flow.  The PathMap is the offline table
+
+    {v delta_path (0..N-1)  ->  delta_sport (16 bits) v}
+
+    and the per-packet work is one lookup and one XOR:
+    [sport' = sport lxor delta_sport((PSN mod N))].
+
+    Because the hash is linear over GF(2), path deltas compose by XOR
+    rather than by addition: rewriting with [delta_path = d] moves the
+    selected path from [p] to [p lxor d].  Spraying over residues
+    [PSN mod N] therefore still hits all [N] distinct paths exactly once
+    per residue cycle, and the receiver-side validity test (Eq. 3 —
+    equal residues imply equal paths) is unchanged.
+
+    Construction brute-forces the 16-bit sport-delta space against
+    {!Ecmp_hash.linear16}; it requires [N] to be a power of two no larger
+    than [2^16] and succeeds whenever the entropy function's image covers
+    the residues (guaranteed here because [linear16] is full-rank). *)
+
+type t
+
+val build : paths:int -> t
+(** Raises [Invalid_argument] if [paths] is not a power of two in
+    [[1, 65536]], or [Failure] if some residue has no sport delta (cannot
+    happen with the library's full-rank hash; the check guards custom
+    hashes). *)
+
+val paths : t -> int
+
+val delta_sport : t -> delta_path:int -> int
+(** The sport bits to flip to move the ECMP choice from path [p] to
+    [p lxor delta_path]. *)
+
+val rewrite : t -> sport:int -> delta_path:int -> int
+(** [sport lxor delta_sport ~delta_path]. *)
+
+val memory_bytes : t -> int
+(** 2 bytes per entry (Section 4: M_PathMap = N_paths * 2). *)
+
+val verify : t -> src:int -> dst:int -> sport:int -> bool
+(** Check, for one concrete flow, that rewriting by every delta in
+    [[0, paths)] moves [Ecmp_hash.flow_hash]'s path selection from its
+    base [p] to exactly [p lxor delta]. *)

@@ -1,0 +1,61 @@
+type t = {
+  slots : int array;
+  mutable head : int;  (* index of oldest entry *)
+  mutable len : int;
+  mutable overwrites : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Psn_queue.create: capacity must be >= 1";
+  { slots = Array.make capacity 0; head = 0; len = 0; overwrites = 0 }
+
+let capacity_for ~bw ~rtt ~mtu ~factor =
+  if factor <= 0. then invalid_arg "Psn_queue.capacity_for: factor";
+  if mtu <= 0 then invalid_arg "Psn_queue.capacity_for: mtu";
+  let bdp_bytes = Rate.to_bps bw *. Sim_time.to_sec rtt /. 8. in
+  Stdlib.max 1 (int_of_float (Float.ceil (bdp_bytes *. factor /. float_of_int mtu)))
+
+let capacity t = Array.length t.slots
+let length t = t.len
+let is_empty t = t.len = 0
+let overwrites t = t.overwrites
+
+let push t psn =
+  let cap = capacity t in
+  if t.len = cap then begin
+    (* Ring is full: the oldest entry is lost. *)
+    t.slots.(t.head) <- Psn.to_int psn;
+    t.head <- (t.head + 1) mod cap;
+    t.overwrites <- t.overwrites + 1
+  end
+  else begin
+    t.slots.((t.head + t.len) mod cap) <- Psn.to_int psn;
+    t.len <- t.len + 1
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let v = t.slots.(t.head) in
+    t.head <- (t.head + 1) mod capacity t;
+    t.len <- t.len - 1;
+    Some (Psn.of_int v)
+  end
+
+let rec pop_until_greater t epsn =
+  match pop t with
+  | None -> None
+  | Some psn -> if Psn.gt psn epsn then Some psn else pop_until_greater t epsn
+
+let contains t psn =
+  let target = Psn.to_int psn in
+  let cap = capacity t in
+  let rec scan i = i < t.len && (t.slots.((t.head + i) mod cap) = target || scan (i + 1)) in
+  scan 0
+
+let clear t =
+  t.head <- 0;
+  t.len <- 0
+
+let to_list t =
+  List.init t.len (fun i -> Psn.of_int t.slots.((t.head + i) mod capacity t))

@@ -1,0 +1,1 @@
+lib/engine/engine.ml: Event_queue Format Sim_time

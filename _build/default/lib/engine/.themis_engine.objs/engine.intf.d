@@ -1,0 +1,1 @@
+lib/engine/engine.mli: Sim_time

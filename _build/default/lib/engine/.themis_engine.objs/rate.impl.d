@@ -1,0 +1,1 @@
+lib/engine/rate.ml: Float Format Stdlib

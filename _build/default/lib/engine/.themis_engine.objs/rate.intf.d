@@ -1,0 +1,1 @@
+lib/engine/rate.mli: Format Sim_time

@@ -1,0 +1,1 @@
+lib/engine/sim_time.ml: Float Format Int Stdlib

@@ -1,0 +1,1 @@
+lib/engine/vec.ml: Array Stdlib

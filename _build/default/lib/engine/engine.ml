@@ -1,0 +1,67 @@
+type handle = { mutable state : [ `Pending | `Cancelled | `Fired ]; action : unit -> unit }
+
+type t = {
+  queue : handle Event_queue.t;
+  mutable now : Sim_time.t;
+  mutable stop_requested : bool;
+  mutable events_processed : int;
+}
+
+let create () =
+  {
+    queue = Event_queue.create ();
+    now = Sim_time.zero;
+    stop_requested = false;
+    events_processed = 0;
+  }
+
+let now t = t.now
+
+let schedule_at t ~time action =
+  if time < t.now then
+    invalid_arg
+      (Format.asprintf "Engine.schedule_at: time %a is in the past (now %a)"
+         Sim_time.pp time Sim_time.pp t.now);
+  let h = { state = `Pending; action } in
+  Event_queue.add t.queue ~time h;
+  h
+
+let schedule t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now + delay) action
+
+let cancel h = if h.state = `Pending then h.state <- `Cancelled
+let is_pending h = h.state = `Pending
+
+let run ?until ?max_events t =
+  t.stop_requested <- false;
+  let budget = ref (match max_events with Some n -> n | None -> max_int) in
+  let horizon = match until with Some u -> u | None -> max_int in
+  let continue = ref true in
+  while !continue && not t.stop_requested && !budget > 0 do
+    match Event_queue.peek_time t.queue with
+    | None -> continue := false
+    | Some time when time > horizon ->
+        t.now <- horizon;
+        continue := false
+    | Some _ -> (
+        match Event_queue.pop t.queue with
+        | None -> continue := false
+        | Some (time, h) -> (
+            t.now <- time;
+            match h.state with
+            | `Cancelled | `Fired -> ()
+            | `Pending ->
+                h.state <- `Fired;
+                t.events_processed <- t.events_processed + 1;
+                decr budget;
+                h.action ()))
+  done;
+  if Event_queue.is_empty t.queue then
+    match until with
+    | Some u when u < max_int && u > t.now -> t.now <- u
+    | _ -> ()
+
+let stop t = t.stop_requested <- true
+let events_processed t = t.events_processed
+let pending t = Event_queue.size t.queue

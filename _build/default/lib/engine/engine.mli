@@ -1,0 +1,43 @@
+(** The discrete-event simulation driver.
+
+    An engine owns the simulated clock and a queue of pending events.  An
+    event is an arbitrary closure; scheduling returns a handle that can be
+    used to cancel the event before it fires.  Execution is strictly ordered
+    by (time, scheduling order), so a run is a deterministic function of the
+    initial schedule and the callbacks' behaviour. *)
+
+type t
+
+type handle
+(** A scheduled event. *)
+
+val create : unit -> t
+
+val now : t -> Sim_time.t
+(** Current simulated time. *)
+
+val schedule : t -> delay:Sim_time.t -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at [now t + delay].  [delay] must be
+    non-negative. *)
+
+val schedule_at : t -> time:Sim_time.t -> (unit -> unit) -> handle
+(** [schedule_at t ~time f] runs [f] at absolute [time >= now t]. *)
+
+val cancel : handle -> unit
+(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+
+val is_pending : handle -> bool
+
+val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
+(** Process events in order until the queue drains, [until] is passed, or
+    [max_events] have fired.  The clock never moves backwards; when an
+    [until] horizon stops the run, the clock is left at the horizon. *)
+
+val stop : t -> unit
+(** Ask a running [run] to return after the current event. *)
+
+val events_processed : t -> int
+
+val pending : t -> int
+(** Number of scheduled-and-not-yet-fired events (including cancelled ones
+    still in the queue). *)

@@ -1,0 +1,73 @@
+type 'a entry = { time : Sim_time.t; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 256) () =
+  ignore capacity;
+  { heap = [||]; size = 0; next_seq = 0 }
+
+let entry_before a b =
+  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow q e =
+  let cap = Array.length q.heap in
+  if q.size >= cap then begin
+    let ncap = Stdlib.max 64 (cap * 2) in
+    let nheap = Array.make ncap e in
+    Array.blit q.heap 0 nheap 0 q.size;
+    q.heap <- nheap
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && entry_before q.heap.(l) q.heap.(!smallest) then
+    smallest := l;
+  if r < q.size && entry_before q.heap.(r) q.heap.(!smallest) then
+    smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let add q ~time payload =
+  let e = { time; seq = q.next_seq; payload } in
+  q.next_seq <- q.next_seq + 1;
+  grow q e;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let size q = q.size
+let is_empty q = q.size = 0
+let clear q = q.size <- 0

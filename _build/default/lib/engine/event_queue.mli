@@ -1,0 +1,20 @@
+(** A stable priority queue of timestamped events.
+
+    Implemented as a binary min-heap keyed on [(time, sequence)].  The
+    sequence number makes ordering of same-time events FIFO with respect to
+    insertion, which is what makes simulation runs deterministic. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val add : 'a t -> time:Sim_time.t -> 'a -> unit
+
+val pop : 'a t -> (Sim_time.t * 'a) option
+(** Remove and return the earliest event (ties broken by insertion order). *)
+
+val peek_time : 'a t -> Sim_time.t option
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val clear : 'a t -> unit

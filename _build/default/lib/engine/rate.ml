@@ -1,0 +1,24 @@
+type t = float
+
+let bps x = x
+let gbps x = x *. 1e9
+let to_gbps x = x /. 1e9
+let to_bps x = x
+let zero = 0.
+let is_zero r = r <= 0.
+
+let tx_time r ~bytes_ =
+  assert (r > 0.);
+  if bytes_ <= 0 then 0
+  else
+    let ns = float_of_int (bytes_ * 8) *. 1e9 /. r in
+    Stdlib.max 1 (int_of_float (Float.round ns))
+
+let bytes_in r d = int_of_float (r *. float_of_int d /. 8e9)
+let min_rate = 100e6
+let scale r f = Stdlib.max min_rate (r *. f)
+let add a b = a +. b
+let avg a b = (a +. b) /. 2.
+let clamp r ~max:m = Stdlib.min m (Stdlib.max min_rate r)
+let compare = Float.compare
+let pp ppf r = Format.fprintf ppf "%.2fGbps" (to_gbps r)

@@ -1,0 +1,41 @@
+(** Transmission rates.
+
+    Rates are stored in bits per second as a float so that congestion-control
+    algorithms (which scale rates multiplicatively) compose without rounding
+    gymnastics.  Conversions to simulated time round to whole nanoseconds and
+    never return a zero duration for a non-empty packet. *)
+
+type t = private float
+(** Bits per second. Always [> 0.] for usable rates. *)
+
+val bps : float -> t
+val gbps : float -> t
+val to_gbps : t -> float
+val to_bps : t -> float
+
+val zero : t
+(** A sentinel for "no rate"; [tx_time zero] is undefined (asserts). *)
+
+val is_zero : t -> bool
+
+val tx_time : t -> bytes_:int -> Sim_time.t
+(** [tx_time r ~bytes_] is the serialization delay of a [bytes_]-byte frame
+    at rate [r], rounded up to at least 1 ns. *)
+
+val bytes_in : t -> Sim_time.t -> int
+(** [bytes_in r d] is how many bytes rate [r] moves in duration [d]. *)
+
+val scale : t -> float -> t
+(** [scale r f] is [r *. f], clamped below by [min_rate]. *)
+
+val add : t -> t -> t
+val avg : t -> t -> t
+
+val min_rate : t
+(** Floor used by congestion control (100 Mbps). *)
+
+val clamp : t -> max:t -> t
+(** Clamp into [[min_rate, max]]. *)
+
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

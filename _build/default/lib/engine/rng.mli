@@ -1,0 +1,27 @@
+(** Deterministic, splittable pseudo-random numbers.
+
+    The generator is xoshiro256** seeded through splitmix64.  Each simulated
+    entity gets its own [split] stream so that adding or removing one entity
+    does not perturb the random choices seen by the others — essential for
+    reproducible cross-configuration comparisons. *)
+
+type t
+
+val create : seed:int -> t
+
+val split : t -> t
+(** Derive an independent stream.  Consumes one draw from the parent. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]. [bound > 0]. *)
+
+val int64 : t -> int64
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val bool : t -> bool
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean. *)
+
+val shuffle_in_place : t -> 'a array -> unit

@@ -1,0 +1,22 @@
+type t = int
+
+let zero = 0
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let sec x = x * 1_000_000_000
+let us_f x = int_of_float (Float.round (x *. 1_000.))
+let to_us t = float_of_int t /. 1_000.
+let to_ms t = float_of_int t /. 1_000_000.
+let to_sec t = float_of_int t /. 1_000_000_000.
+let add = ( + )
+let diff = ( - )
+let max = Stdlib.max
+let min = Stdlib.min
+let compare = Int.compare
+
+let pp ppf t =
+  if t < 1_000 then Format.fprintf ppf "%dns" t
+  else if t < 1_000_000 then Format.fprintf ppf "%.2fus" (to_us t)
+  else if t < 1_000_000_000 then Format.fprintf ppf "%.3fms" (to_ms t)
+  else Format.fprintf ppf "%.4fs" (to_sec t)

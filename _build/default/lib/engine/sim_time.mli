@@ -1,0 +1,32 @@
+(** Simulated time.
+
+    All simulation time is kept as an integer number of nanoseconds, which
+    keeps event ordering exact (no floating-point drift) and is wide enough
+    on a 63-bit [int] for ~146 years of simulated time. *)
+
+type t = int
+(** Nanoseconds since the start of the simulation. *)
+
+val zero : t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+
+val us_f : float -> t
+(** [us_f x] is [x] microseconds, rounded to the nearest nanosecond. *)
+
+val to_us : t -> float
+val to_ms : t -> float
+val to_sec : t -> float
+
+val add : t -> t -> t
+val diff : t -> t -> t
+
+val max : t -> t -> t
+val min : t -> t -> t
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable rendering with an adaptive unit (ns/us/ms/s). *)

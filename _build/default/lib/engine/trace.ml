@@ -1,0 +1,21 @@
+type sink = Silent | Print | Retain
+
+let current = ref Silent
+let events : (Sim_time.t * string * string) list ref = ref []
+
+let set_sink s = current := s
+let sink () = !current
+let enabled () = !current <> Silent
+
+let emit ~time ~cat msg =
+  match !current with
+  | Silent -> ()
+  | Print -> Format.printf "[%a] %-10s %s@." Sim_time.pp time cat msg
+  | Retain -> events := (time, cat, msg) :: !events
+
+let emitf ~time ~cat fmt =
+  if !current = Silent then Format.ifprintf Format.std_formatter fmt
+  else Format.kasprintf (fun msg -> emit ~time ~cat msg) fmt
+
+let retained () = List.rev !events
+let clear () = events := []

@@ -1,0 +1,27 @@
+(** Lightweight structured tracing for debugging simulations.
+
+    Tracing is off by default and costs a single branch per call when off.
+    When enabled, events are either printed immediately or retained for
+    later inspection (used by the [nack_anatomy] example and by tests that
+    assert on decision sequences). *)
+
+type sink = Silent | Print | Retain
+
+val set_sink : sink -> unit
+val sink : unit -> sink
+
+val enabled : unit -> bool
+
+val emit : time:Sim_time.t -> cat:string -> string -> unit
+(** [emit ~time ~cat msg] records one event.  [cat] is a short category tag
+    such as ["themis-d"] or ["rnic"]. *)
+
+val emitf :
+  time:Sim_time.t -> cat:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the format arguments are not evaluated when tracing
+    is off. *)
+
+val retained : unit -> (Sim_time.t * string * string) list
+(** Events recorded under [Retain], oldest first. *)
+
+val clear : unit -> unit

@@ -1,0 +1,47 @@
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+let length v = v.len
+
+let push v x =
+  let cap = Array.length v.data in
+  if v.len >= cap then begin
+    let ncap = Stdlib.max 16 (cap * 2) in
+    let ndata = Array.make ncap x in
+    Array.blit v.data 0 ndata 0 v.len;
+    v.data <- ndata
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1;
+  v.len - 1
+
+let check v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec: index out of bounds"
+
+let get v i =
+  check v i;
+  v.data.(i)
+
+let set v i x =
+  check v i;
+  v.data.(i) <- x
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_array v = Array.sub v.data 0 v.len
+let to_list v = Array.to_list (to_array v)

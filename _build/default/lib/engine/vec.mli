@@ -1,0 +1,17 @@
+(** Growable arrays (the few operations the simulator needs). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> int
+(** Append, returning the index of the new element. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list

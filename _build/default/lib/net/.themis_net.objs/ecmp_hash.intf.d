@@ -1,0 +1,1 @@
+lib/net/ecmp_hash.mli:

@@ -1,0 +1,1 @@
+lib/net/fat_tree.ml: Array Printf Topology

@@ -1,0 +1,1 @@
+lib/net/fat_tree.mli: Rate Sim_time Topology

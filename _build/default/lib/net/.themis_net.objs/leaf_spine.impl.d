@@ -1,0 +1,1 @@
+lib/net/leaf_spine.ml: Array Printf Rate Sim_time Topology

@@ -1,0 +1,1 @@
+lib/net/leaf_spine.mli: Rate Sim_time Topology

@@ -1,0 +1,1 @@
+lib/net/port.ml: Engine Packet Queue Rate Rng Sim_time

@@ -1,0 +1,1 @@
+lib/net/port.mli: Engine Packet Rate Rng Sim_time

@@ -1,0 +1,1 @@
+lib/net/routing.ml: Array Hashtbl List Queue Topology

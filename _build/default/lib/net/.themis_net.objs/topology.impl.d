@@ -1,0 +1,1 @@
+lib/net/topology.ml: Array Format List Rate Sim_time Vec

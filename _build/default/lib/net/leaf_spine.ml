@@ -1,0 +1,80 @@
+type t = {
+  topo : Topology.t;
+  leaves : int array;
+  spines : int array;
+  hosts : int array;
+  hosts_per_leaf : int;
+}
+
+type params = {
+  n_leaves : int;
+  n_spines : int;
+  hosts_per_leaf : int;
+  host_bw : Rate.t;
+  fabric_bw : Rate.t;
+  link_delay : Sim_time.t;
+}
+
+let paper_eval =
+  {
+    n_leaves = 16;
+    n_spines = 16;
+    hosts_per_leaf = 16;
+    host_bw = Rate.gbps 400.;
+    fabric_bw = Rate.gbps 400.;
+    link_delay = Sim_time.us 1;
+  }
+
+let motivation =
+  {
+    n_leaves = 2;
+    n_spines = 4;
+    hosts_per_leaf = 4;
+    host_bw = Rate.gbps 100.;
+    fabric_bw = Rate.gbps 100.;
+    link_delay = Sim_time.us 1;
+  }
+
+let build p =
+  if p.n_leaves <= 0 || p.n_spines <= 0 || p.hosts_per_leaf <= 0 then
+    invalid_arg "Leaf_spine.build: all counts must be positive";
+  let topo = Topology.create () in
+  let hosts =
+    Array.init (p.n_leaves * p.hosts_per_leaf) (fun i ->
+        Topology.add_node topo Topology.Host ~label:(Printf.sprintf "h%d" i))
+  in
+  let leaves =
+    Array.init p.n_leaves (fun i ->
+        Topology.add_node topo Topology.Tor ~label:(Printf.sprintf "tor%d" i))
+  in
+  let spines =
+    Array.init p.n_spines (fun i ->
+        Topology.add_node topo Topology.Spine ~label:(Printf.sprintf "spine%d" i))
+  in
+  Array.iteri
+    (fun hi host ->
+      let leaf = leaves.(hi / p.hosts_per_leaf) in
+      ignore
+        (Topology.add_link topo host leaf ~bandwidth:p.host_bw
+           ~delay:p.link_delay))
+    hosts;
+  Array.iter
+    (fun leaf ->
+      Array.iter
+        (fun spine ->
+          ignore
+            (Topology.add_link topo leaf spine ~bandwidth:p.fabric_bw
+               ~delay:p.link_delay))
+        spines)
+    leaves;
+  { topo; leaves; spines; hosts; hosts_per_leaf = p.hosts_per_leaf }
+
+let leaf_index_of_host t host =
+  if host < 0 || host >= Array.length t.hosts then
+    invalid_arg "Leaf_spine.leaf_index_of_host";
+  host / t.hosts_per_leaf
+
+let tor_of_host t host = t.leaves.(leaf_index_of_host t host)
+let host t ~leaf ~index = t.hosts.((leaf * t.hosts_per_leaf) + index)
+let is_tor t node = Array.exists (fun l -> l = node) t.leaves
+let n_paths t = Array.length t.spines

@@ -1,0 +1,45 @@
+(** Two-tier leaf–spine (Clos) fabric generator.
+
+    Every leaf (ToR) connects to every spine; hosts hang off leaves.  With
+    [spines] spines there are exactly [spines] equal-cost paths between
+    hosts on different leaves — the [N] of the paper's Eq. 1.
+
+    Node id layout: hosts are [0 .. leaves*hosts_per_leaf - 1] (host [h] of
+    leaf [l] is [l*hosts_per_leaf + h]), then leaves, then spines. *)
+
+type t = {
+  topo : Topology.t;
+  leaves : int array;  (** node ids of ToR switches, by leaf index *)
+  spines : int array;
+  hosts : int array;
+  hosts_per_leaf : int;
+}
+
+type params = {
+  n_leaves : int;
+  n_spines : int;
+  hosts_per_leaf : int;
+  host_bw : Rate.t;  (** host <-> ToR link bandwidth *)
+  fabric_bw : Rate.t;  (** ToR <-> spine link bandwidth *)
+  link_delay : Sim_time.t;  (** propagation delay of every link *)
+}
+
+val paper_eval : params
+(** The evaluation fabric of Section 5: 16 x 16, 400 Gbps, 1 us links,
+    16 hosts per leaf (1:1 subscription). *)
+
+val motivation : params
+(** The Fig. 1a motivation fabric: 2 leaves x 4 spines, 4 hosts per leaf,
+    100 Gbps everywhere. *)
+
+val build : params -> t
+
+val tor_of_host : t -> int -> int
+(** ToR switch node id serving a host. *)
+
+val leaf_index_of_host : t -> int -> int
+val host : t -> leaf:int -> index:int -> int
+val is_tor : t -> int -> bool
+val n_paths : t -> int
+(** Equal-cost paths between hosts on distinct leaves (= number of
+    spines). *)

@@ -1,0 +1,150 @@
+type t = {
+  engine : Engine.t;
+  bandwidth : Rate.t;
+  delay : Sim_time.t;
+  label : string;
+  ctrl_queue : Packet.t Queue.t;  (* ACK/NACK/CNP/pause: strict priority *)
+  data_queue : Packet.t Queue.t;
+  mutable data_bytes : int;
+  mutable ctrl_bytes : int;
+  mutable busy : bool;
+  mutable paused : bool;
+  mutable up : bool;
+  mutable deliver : Packet.t -> unit;
+  mutable on_dequeue : Packet.t -> unit;
+  mutable on_discard : Packet.t -> unit;
+  mutable tx_packets : int;
+  mutable tx_bytes : int;
+  mutable dropped : int;
+  mutable inject_drops : int;
+  mutable jitter : (Rng.t * Sim_time.t) option;
+}
+
+let no_deliver (_ : Packet.t) =
+  failwith "Port: deliver callback not set (missing set_deliver)"
+
+let create ~engine ~bandwidth ~delay ~label =
+  {
+    engine;
+    bandwidth;
+    delay;
+    label;
+    ctrl_queue = Queue.create ();
+    data_queue = Queue.create ();
+    data_bytes = 0;
+    ctrl_bytes = 0;
+    busy = false;
+    paused = false;
+    up = true;
+    deliver = no_deliver;
+    on_dequeue = ignore;
+    on_discard = ignore;
+    tx_packets = 0;
+    tx_bytes = 0;
+    dropped = 0;
+    inject_drops = 0;
+    jitter = None;
+  }
+
+let set_deliver t f = t.deliver <- f
+let set_jitter t ~rng ~max = t.jitter <- Some (rng, max)
+let set_on_dequeue t f = t.on_dequeue <- f
+let set_on_discard t f = t.on_discard <- f
+
+let pop_next t =
+  match Queue.take_opt t.ctrl_queue with
+  | Some pkt ->
+      t.ctrl_bytes <- t.ctrl_bytes - pkt.Packet.size;
+      Some pkt
+  | None -> (
+      match Queue.take_opt t.data_queue with
+      | Some pkt ->
+          t.data_bytes <- t.data_bytes - pkt.Packet.size;
+          Some pkt
+      | None -> None)
+
+let rec start_tx t =
+  if (not t.busy) && (not t.paused) && t.up then
+    match pop_next t with
+    | None -> ()
+    | Some pkt ->
+        t.on_dequeue pkt;
+        t.busy <- true;
+        let tx = Rate.tx_time t.bandwidth ~bytes_:pkt.Packet.size in
+        ignore
+          (Engine.schedule t.engine ~delay:tx (fun () ->
+               t.busy <- false;
+               t.tx_packets <- t.tx_packets + 1;
+               t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
+               if t.up then begin
+                 let extra =
+                   match t.jitter with
+                   | Some (rng, max) when max > 0 -> Rng.int rng (max + 1)
+                   | Some _ | None -> 0
+                 in
+                 ignore
+                   (Engine.schedule t.engine ~delay:(t.delay + extra)
+                      (fun () -> if t.up then t.deliver pkt))
+               end
+               else t.dropped <- t.dropped + 1;
+               start_tx t))
+
+let inject_drops t n = t.inject_drops <- t.inject_drops + n
+
+let enqueue t pkt =
+  if not t.up then begin
+    t.dropped <- t.dropped + 1;
+    t.on_discard pkt
+  end
+  else if Packet.is_data pkt && t.inject_drops > 0 then begin
+    t.inject_drops <- t.inject_drops - 1;
+    t.dropped <- t.dropped + 1;
+    t.on_discard pkt
+  end
+  else begin
+    if Packet.is_data pkt then begin
+      Queue.add pkt t.data_queue;
+      t.data_bytes <- t.data_bytes + pkt.Packet.size
+    end
+    else begin
+      Queue.add pkt t.ctrl_queue;
+      t.ctrl_bytes <- t.ctrl_bytes + pkt.Packet.size
+    end;
+    start_tx t
+  end
+
+let queue_bytes t = t.data_bytes
+let ctrl_queue_bytes t = t.ctrl_bytes
+let queue_packets t = Queue.length t.data_queue + Queue.length t.ctrl_queue
+let busy t = t.busy
+
+let set_paused t p =
+  t.paused <- p;
+  if not p then start_tx t
+
+let paused t = t.paused
+
+let flush_discard t q =
+  Queue.iter
+    (fun pkt ->
+      t.dropped <- t.dropped + 1;
+      t.on_discard pkt)
+    q;
+  Queue.clear q
+
+let set_up t up =
+  t.up <- up;
+  if not up then begin
+    flush_discard t t.ctrl_queue;
+    flush_discard t t.data_queue;
+    t.data_bytes <- 0;
+    t.ctrl_bytes <- 0
+  end
+  else start_tx t
+
+let is_up t = t.up
+let tx_packets t = t.tx_packets
+let tx_bytes t = t.tx_bytes
+let dropped_packets t = t.dropped
+let bandwidth t = t.bandwidth
+let label t = t.label

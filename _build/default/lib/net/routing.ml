@@ -1,0 +1,78 @@
+type table = { dist : int array; hops : (int * int) array array }
+
+type t = { topo : Topology.t; mutable tables : (int, table) Hashtbl.t }
+
+let build_table topo dst =
+  let n = Topology.node_count topo in
+  let dist = Array.make n max_int in
+  let queue = Queue.create () in
+  dist.(dst) <- 0;
+  Queue.add dst queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    (* Hosts other than the destination do not forward traffic. *)
+    if u = dst || not (Topology.is_host topo u) then
+      List.iter
+        (fun (peer, link_id) ->
+          let l = Topology.link topo link_id in
+          if l.Topology.up && dist.(peer) = max_int then begin
+            dist.(peer) <- dist.(u) + 1;
+            Queue.add peer queue
+          end)
+        (Topology.neighbors topo u)
+  done;
+  let hops =
+    Array.init n (fun u ->
+        if dist.(u) = max_int || u = dst then [||]
+        else
+          Topology.neighbors topo u
+          |> List.filter (fun (peer, link_id) ->
+                 (Topology.link topo link_id).Topology.up
+                 && dist.(peer) = dist.(u) - 1)
+          |> List.sort (fun (a, _) (b, _) -> compare a b)
+          |> Array.of_list)
+  in
+  { dist; hops }
+
+let compute topo =
+  let tables = Hashtbl.create 64 in
+  Array.iter
+    (fun h -> Hashtbl.replace tables h (build_table topo h))
+    (Topology.hosts topo);
+  { topo; tables }
+
+let recompute t =
+  let tables = Hashtbl.create 64 in
+  Array.iter
+    (fun h -> Hashtbl.replace tables h (build_table t.topo h))
+    (Topology.hosts t.topo);
+  t.tables <- tables
+
+let table t dst =
+  match Hashtbl.find_opt t.tables dst with
+  | Some tbl -> tbl
+  | None -> invalid_arg "Routing: destination is not a host"
+
+let next_hops t ~node ~dst = (table t dst).hops.(node)
+let distance t ~node ~dst = (table t dst).dist.(node)
+
+let path_count t ~src ~dst =
+  if src = dst then 1
+  else
+    let tbl = table t dst in
+    let memo = Hashtbl.create 32 in
+    let rec count u =
+      if u = dst then 1
+      else
+        match Hashtbl.find_opt memo u with
+        | Some c -> c
+        | None ->
+            let c =
+              Array.fold_left
+                (fun acc (peer, _) -> acc + count peer)
+                0 tbl.hops.(u)
+            in
+            Hashtbl.add memo u c;
+            c
+    in
+    count src

@@ -1,0 +1,25 @@
+(** Shortest-path routing with equal-cost multipath next-hop sets.
+
+    For every destination host we run a BFS (over up links only, never
+    transiting through other hosts) and record, at every node, the set of
+    neighbours one hop closer to the destination.  A switch's load-balancing
+    policy then picks one member of that set per flow (ECMP) or per packet
+    (spraying / adaptive routing). *)
+
+type t
+
+val compute : Topology.t -> t
+(** Build tables for all hosts as destinations. *)
+
+val recompute : t -> unit
+(** Rebuild after a link status change. *)
+
+val next_hops : t -> node:int -> dst:int -> (int * int) array
+(** Equal-cost [(peer_node, link_id)] choices at [node] towards host [dst],
+    ordered by peer id.  Empty if unreachable. *)
+
+val distance : t -> node:int -> dst:int -> int
+(** Hop count to [dst]; [max_int] if unreachable. *)
+
+val path_count : t -> src:int -> dst:int -> int
+(** Number of distinct equal-cost shortest paths between two hosts. *)

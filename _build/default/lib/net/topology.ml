@@ -1,0 +1,73 @@
+type node_kind = Host | Tor | Agg | Spine
+
+type node = { id : int; kind : node_kind; label : string }
+
+type link = {
+  link_id : int;
+  a : int;
+  b : int;
+  bandwidth : Rate.t;
+  delay : Sim_time.t;
+  mutable up : bool;
+}
+
+type t = {
+  nodes : node Vec.t;
+  links : link Vec.t;
+  adjacency : (int * int) list Vec.t;  (* node -> (peer, link_id), reversed *)
+}
+
+let create () =
+  { nodes = Vec.create (); links = Vec.create (); adjacency = Vec.create () }
+
+let add_node t kind ~label =
+  let id = Vec.push t.nodes { id = Vec.length t.nodes; kind; label } in
+  let id' = Vec.push t.adjacency [] in
+  assert (id = id');
+  id
+
+let add_link t a b ~bandwidth ~delay =
+  if a = b then invalid_arg "Topology.add_link: self loop";
+  let link_id =
+    Vec.push t.links { link_id = Vec.length t.links; a; b; bandwidth; delay; up = true }
+  in
+  Vec.set t.adjacency a ((b, link_id) :: Vec.get t.adjacency a);
+  Vec.set t.adjacency b ((a, link_id) :: Vec.get t.adjacency b);
+  link_id
+
+let node_count t = Vec.length t.nodes
+let link_count t = Vec.length t.links
+let node t i = Vec.get t.nodes i
+let link t i = Vec.get t.links i
+let neighbors t i = List.rev (Vec.get t.adjacency i)
+
+let link_between t a b =
+  let rec find = function
+    | [] -> None
+    | (peer, link_id) :: rest -> if peer = b then Some link_id else find rest
+  in
+  find (Vec.get t.adjacency a)
+
+let other_end t ~link_id n =
+  let l = link t link_id in
+  if l.a = n then l.b
+  else if l.b = n then l.a
+  else invalid_arg "Topology.other_end: node not on link"
+
+let set_link_up t ~link_id up = (link t link_id).up <- up
+
+let filter_nodes t pred =
+  let acc = ref [] in
+  Vec.iter (fun n -> if pred n then acc := n.id :: !acc) t.nodes;
+  Array.of_list (List.rev !acc)
+
+let hosts t = filter_nodes t (fun n -> n.kind = Host)
+let switches t = filter_nodes t (fun n -> n.kind <> Host)
+let is_host t i = (node t i).kind = Host
+
+let pp_summary ppf t =
+  let count kind =
+    Vec.fold_left (fun acc n -> if n.kind = kind then acc + 1 else acc) 0 t.nodes
+  in
+  Format.fprintf ppf "topology: %d hosts, %d tor, %d agg, %d spine, %d links"
+    (count Host) (count Tor) (count Agg) (count Spine) (link_count t)

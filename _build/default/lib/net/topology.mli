@@ -1,0 +1,53 @@
+(** The physical network graph: nodes (hosts and switches) connected by
+    point-to-point full-duplex links. *)
+
+type node_kind =
+  | Host
+  | Tor  (** Leaf / top-of-rack switch — where Themis runs. *)
+  | Agg  (** Aggregation tier (3-tier fabrics). *)
+  | Spine  (** Spine (2-tier) or core (3-tier) switch. *)
+
+type node = { id : int; kind : node_kind; label : string }
+
+type link = {
+  link_id : int;
+  a : int;
+  b : int;
+  bandwidth : Rate.t;
+  delay : Sim_time.t;
+  mutable up : bool;
+}
+
+type t
+
+val create : unit -> t
+
+val add_node : t -> node_kind -> label:string -> int
+(** Returns the new node id (dense, starting at 0). *)
+
+val add_link :
+  t -> int -> int -> bandwidth:Rate.t -> delay:Sim_time.t -> int
+(** Connect two nodes; returns the link id.  Links are full duplex. *)
+
+val node_count : t -> int
+val link_count : t -> int
+val node : t -> int -> node
+val link : t -> int -> link
+
+val neighbors : t -> int -> (int * int) list
+(** [(peer_node, link_id)] pairs in insertion order. *)
+
+val link_between : t -> int -> int -> int option
+(** The first (usually only) link joining two nodes. *)
+
+val other_end : t -> link_id:int -> int -> int
+(** The node on the far side of a link. *)
+
+val set_link_up : t -> link_id:int -> bool -> unit
+(** Mark a link failed/recovered.  Routing must be recomputed afterwards. *)
+
+val hosts : t -> int array
+val switches : t -> int array
+val is_host : t -> int -> bool
+
+val pp_summary : Format.formatter -> t -> unit

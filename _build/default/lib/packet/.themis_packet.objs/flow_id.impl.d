@@ -1,0 +1,1 @@
+lib/packet/flow_id.ml: Format Hashtbl Stdlib

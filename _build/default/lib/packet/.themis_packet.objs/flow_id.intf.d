@@ -1,0 +1,1 @@
+lib/packet/flow_id.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/packet/packet.mli: Flow_id Format Headers Psn Sim_time

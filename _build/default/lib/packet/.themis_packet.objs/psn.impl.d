@@ -1,0 +1,1 @@
+lib/packet/psn.ml: Format Int

@@ -1,0 +1,18 @@
+type t = { src : int; dst : int; qpn : int }
+
+let make ~src ~dst ~qpn = { src; dst; qpn }
+let equal a b = a.src = b.src && a.dst = b.dst && a.qpn = b.qpn
+let compare = Stdlib.compare
+
+let hash t =
+  let h = (t.src * 1_000_003) lxor (t.dst * 998_244_353) lxor (t.qpn * 0x9E3779B9) in
+  h land max_int
+
+let pp ppf t = Format.fprintf ppf "%d->%d/qp%d" t.src t.dst t.qpn
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,16 @@
+(** Identity of an RDMA connection (a queue pair).
+
+    A connection is oriented: [src] is the requester (data sender) and [dst]
+    the responder.  Acknowledgements travel dst -> src but carry the same
+    connection identity, which is what the Themis-D flow table is keyed on. *)
+
+type t = { src : int; dst : int; qpn : int }
+(** [src]/[dst] are host node ids; [qpn] is the destination QP number. *)
+
+val make : src:int -> dst:int -> qpn:int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,63 @@
+(** Simulated packets.
+
+    A packet travels between two host endpoints ([src_node] -> [dst_node]);
+    [conn] identifies the QP connection it belongs to, always oriented from
+    the data sender to the data receiver regardless of the packet's own
+    direction (ACK/NACK/CNP flow backwards).
+
+    [udp_sport] is the flow's entropy field.  ECMP hashes it; Themis-S
+    rewrites it per packet to implement PSN-based spraying.  [ecn] is the IP
+    ECN codepoint, set to [Ce] by switches when marking. *)
+
+type kind =
+  | Data of { psn : Psn.t; payload : int; last_of_msg : bool }
+      (** [payload] bytes of user data carried under [psn]. *)
+  | Ack of { psn : Psn.t }
+      (** Cumulative: every PSN strictly below [psn] has been received.
+          [psn] is the receiver's current ePSN. *)
+  | Nack of { epsn : Psn.t }
+      (** Out-of-sequence NACK carrying only the expected PSN (the
+          commodity-RNIC behaviour of Section 2.2). *)
+  | Cnp  (** DCQCN congestion notification. *)
+  | Pause of { stop : bool }  (** PFC pause/resume (hop-local). *)
+
+type t = {
+  uid : int;  (** Unique per simulated packet; retransmissions get fresh ids. *)
+  conn : Flow_id.t;
+  src_node : int;
+  dst_node : int;
+  kind : kind;
+  size : int;  (** Total bytes on the wire. *)
+  mutable udp_sport : int;
+  mutable ecn : Headers.ecn;
+  mutable retransmission : bool;
+  birth : Sim_time.t;
+}
+
+val data :
+  conn:Flow_id.t ->
+  sport:int ->
+  psn:Psn.t ->
+  payload:int ->
+  last_of_msg:bool ->
+  ?retransmission:bool ->
+  birth:Sim_time.t ->
+  unit ->
+  t
+
+val ack : conn:Flow_id.t -> sport:int -> psn:Psn.t -> birth:Sim_time.t -> t
+(** Travels dst -> src of [conn]. *)
+
+val nack : conn:Flow_id.t -> sport:int -> epsn:Psn.t -> birth:Sim_time.t -> t
+val cnp : conn:Flow_id.t -> sport:int -> birth:Sim_time.t -> t
+
+val is_data : t -> bool
+val is_nack : t -> bool
+
+val payload_bytes : t -> int
+(** 0 for control packets. *)
+
+val pp : Format.formatter -> t -> unit
+
+val reset_uid_counter : unit -> unit
+(** For test isolation. *)

@@ -1,0 +1,35 @@
+type t = int
+
+let bits = 24
+let modulus = 1 lsl bits
+let mask = modulus - 1
+let half = modulus / 2
+let zero = 0
+let of_int x = x land mask
+let to_int x = x
+let succ x = (x + 1) land mask
+let add x n = (x + n) land mask
+let distance ~from x = (x - from) land mask
+
+let compare_circular a b =
+  if a = b then 0
+  else
+    let d = distance ~from:a b in
+    if d < half then -1 else 1
+
+let lt a b = compare_circular a b < 0
+let le a b = compare_circular a b <= 0
+let gt a b = compare_circular a b > 0
+let ge a b = compare_circular a b >= 0
+let equal = Int.equal
+
+let mod_paths psn n =
+  if n <= 0 then invalid_arg "Psn.mod_paths: paths must be positive";
+  psn mod n
+
+let same_residue a b ~paths = mod_paths a paths = mod_paths b paths
+
+let unwrap ~near psn =
+  let d = (psn - near) land mask in
+  if d < half then near + d else near + d - modulus
+let pp ppf x = Format.fprintf ppf "psn:%d" x

@@ -1,0 +1,53 @@
+(** 24-bit packet sequence numbers (PSNs) with wrap-around arithmetic.
+
+    RoCEv2's Base Transport Header carries a 24-bit PSN.  Comparisons are
+    circular (serial-number arithmetic): [a] is "before" [b] when the
+    forward distance from [a] to [b] is less than half the space.  All
+    Themis logic (Eq. 1-3 of the paper) is expressed over these values. *)
+
+type t = private int
+
+val bits : int
+(** 24. *)
+
+val modulus : int
+(** [2^24]. *)
+
+val zero : t
+
+val of_int : int -> t
+(** Reduce an arbitrary integer into PSN space. *)
+
+val to_int : t -> int
+
+val succ : t -> t
+val add : t -> int -> t
+
+val distance : from:t -> t -> int
+(** Forward circular distance in [[0, modulus)]. *)
+
+val compare_circular : t -> t -> int
+(** [< 0] when the first argument precedes the second on the circle. *)
+
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val mod_paths : t -> int -> int
+(** [mod_paths psn n] is [psn mod n] — the path-selection residue of Eq. 1.
+    [n > 0]. *)
+
+val same_residue : t -> t -> paths:int -> bool
+(** Eq. 3: do the two PSNs map to the same path residue over [paths]
+    equal-cost paths? *)
+
+val unwrap : near:int -> t -> int
+(** Lift a 24-bit PSN back to the unbounded sequence number closest to
+    [near] (endpoints track sequences as plain integers and only truncate
+    on the wire).  Exact whenever the true value is within [2^23] of
+    [near]. *)
+
+val pp : Format.formatter -> t -> unit

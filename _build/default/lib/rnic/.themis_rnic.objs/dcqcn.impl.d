@@ -1,0 +1,1 @@
+lib/rnic/dcqcn.ml: Engine Rate Sim_time

@@ -1,0 +1,1 @@
+lib/rnic/dcqcn.mli: Engine Rate Sim_time

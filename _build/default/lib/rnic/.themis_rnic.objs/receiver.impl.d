@@ -1,0 +1,1 @@
+lib/rnic/receiver.ml: Hashtbl

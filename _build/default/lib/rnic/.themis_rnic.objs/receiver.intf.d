@@ -1,0 +1,1 @@
+lib/rnic/receiver.mli:

@@ -1,0 +1,1 @@
+lib/rnic/rnic.ml: Dcqcn Ecmp_hash Engine Flow_id Format Headers Packet Port Psn Rate Receiver Sender Sim_time

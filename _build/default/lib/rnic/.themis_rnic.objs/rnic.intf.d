@@ -1,0 +1,1 @@
+lib/rnic/rnic.mli: Dcqcn Engine Flow_id Packet Port Rate Sender Sim_time

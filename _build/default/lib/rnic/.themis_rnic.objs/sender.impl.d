@@ -1,0 +1,1 @@
+lib/rnic/sender.ml: Dcqcn Engine Flow_id Hashtbl Packet Printf Psn Queue Rate Sim_time Stdlib

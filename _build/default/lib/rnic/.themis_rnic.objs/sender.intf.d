@@ -1,0 +1,1 @@
+lib/rnic/sender.mli: Dcqcn Engine Flow_id Packet Psn Rate Sim_time

@@ -1,0 +1,172 @@
+type config = {
+  g : float;
+  rai : Rate.t;
+  rhai : Rate.t;
+  alpha_timer : Sim_time.t;
+  rate_decrease_interval : Sim_time.t;
+  rate_increase_timer : Sim_time.t;
+  byte_counter : int;
+  fast_recovery_rounds : int;
+  nack_slow_start : bool;
+  nack_factor : float;
+  nack_decrease_interval : Sim_time.t;
+}
+
+let default =
+  {
+    g = 1. /. 256.;
+    rai = Rate.gbps 0.04;
+    rhai = Rate.gbps 0.4;
+    alpha_timer = Sim_time.us 55;
+    rate_decrease_interval = Sim_time.us 4;
+    rate_increase_timer = Sim_time.us 900;
+    byte_counter = 10_000_000;
+    fast_recovery_rounds = 5;
+    nack_slow_start = true;
+    nack_factor = 0.5;
+    nack_decrease_interval = Sim_time.us 300;
+  }
+
+let with_ti_td cfg ~ti_us ~td_us =
+  {
+    cfg with
+    rate_increase_timer = Sim_time.us_f ti_us;
+    rate_decrease_interval = Sim_time.us_f td_us;
+  }
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  line_rate : Rate.t;
+  mutable rc : Rate.t;
+  mutable rt : Rate.t;
+  mutable alpha : float;
+  mutable last_decrease : Sim_time.t;
+  mutable last_nack_decrease : Sim_time.t;
+  mutable stage : int;
+  mutable bytes_acc : int;
+  mutable increase_timer : Engine.handle option;
+  mutable alpha_handle : Engine.handle option;
+  mutable decreases : int;
+}
+
+let create ~engine ~config ~line_rate =
+  {
+    engine;
+    cfg = config;
+    line_rate;
+    rc = line_rate;
+    rt = line_rate;
+    alpha = 1.;
+    last_decrease = Sim_time.ns (-1_000_000_000);
+    last_nack_decrease = Sim_time.ns (-1_000_000_000);
+    stage = 0;
+    bytes_acc = 0;
+    increase_timer = None;
+    alpha_handle = None;
+    decreases = 0;
+  }
+
+let rate t = t.rc
+let target t = t.rt
+let alpha t = t.alpha
+let decreases t = t.decreases
+
+let cancel_opt = function Some h -> Engine.cancel h | None -> ()
+
+let at_line_rate t = Rate.compare t.rc t.line_rate >= 0
+
+(* Only the rate-increase loop parks on full recovery; alpha keeps
+   decaying (it terminates itself once negligible), so a long quiet
+   period leaves the next congestion cut appropriately gentle. *)
+let stop_increase_timer t =
+  cancel_opt t.increase_timer;
+  t.increase_timer <- None
+
+(* One rate-increase event (from the TI timer or the byte counter). *)
+let rec increase_event t =
+  t.stage <- t.stage + 1;
+  let f = t.cfg.fast_recovery_rounds in
+  if t.stage <= f then t.rc <- Rate.avg t.rc t.rt
+  else if t.stage <= 2 * f then begin
+    t.rt <- Rate.clamp (Rate.add t.rt t.cfg.rai) ~max:t.line_rate;
+    t.rc <- Rate.avg t.rc t.rt
+  end
+  else begin
+    t.rt <- Rate.clamp (Rate.add t.rt t.cfg.rhai) ~max:t.line_rate;
+    t.rc <- Rate.avg t.rc t.rt
+  end;
+  t.rc <- Rate.clamp t.rc ~max:t.line_rate;
+  if Rate.to_bps t.rc >= 0.999 *. Rate.to_bps t.line_rate then begin
+    (* Fully recovered; park the control loop until the next signal. *)
+    t.rc <- t.line_rate;
+    t.rt <- t.line_rate;
+    stop_increase_timer t
+  end
+  else reschedule_increase t
+
+and reschedule_increase t =
+  cancel_opt t.increase_timer;
+  t.increase_timer <-
+    Some
+      (Engine.schedule t.engine ~delay:t.cfg.rate_increase_timer (fun () ->
+           increase_event t))
+
+let rec alpha_decay t =
+  t.alpha <- (1. -. t.cfg.g) *. t.alpha;
+  if t.alpha > 1e-4 then reschedule_alpha t else t.alpha_handle <- None
+
+and reschedule_alpha t =
+  cancel_opt t.alpha_handle;
+  t.alpha_handle <-
+    Some
+      (Engine.schedule t.engine ~delay:t.cfg.alpha_timer (fun () ->
+           alpha_decay t))
+
+let decrease ?(gate = `Td) t ~factor =
+  let now = Engine.now t.engine in
+  let gate_ok =
+    match gate with
+    | `Td -> Sim_time.diff now t.last_decrease >= t.cfg.rate_decrease_interval
+    | `Nack ->
+        Sim_time.diff now t.last_nack_decrease
+        >= t.cfg.nack_decrease_interval
+  in
+  if gate_ok then begin
+    t.last_decrease <- now;
+    (match gate with
+    | `Nack -> t.last_nack_decrease <- now
+    | `Td -> ());
+    t.decreases <- t.decreases + 1;
+    t.alpha <- ((1. -. t.cfg.g) *. t.alpha) +. t.cfg.g;
+    t.rt <- t.rc;
+    t.rc <- Rate.scale t.rc factor;
+    t.stage <- 0;
+    t.bytes_acc <- 0;
+    reschedule_increase t;
+    reschedule_alpha t
+  end
+
+let on_cnp t = decrease t ~factor:(1. -. (t.alpha /. 2.))
+
+let on_nack t =
+  if t.cfg.nack_slow_start then decrease ~gate:`Nack t ~factor:t.cfg.nack_factor
+
+let on_timeout t =
+  t.last_decrease <- Engine.now t.engine;
+  t.decreases <- t.decreases + 1;
+  t.rt <- t.rc;
+  t.rc <- Rate.min_rate;
+  t.stage <- 0;
+  t.bytes_acc <- 0;
+  reschedule_increase t;
+  reschedule_alpha t
+
+let on_bytes_sent t b =
+  if t.cfg.byte_counter < max_int && not (at_line_rate t) then begin
+    t.bytes_acc <- t.bytes_acc + b;
+    if t.bytes_acc >= t.cfg.byte_counter then begin
+      t.bytes_acc <- t.bytes_acc - t.cfg.byte_counter;
+      increase_event t
+    end
+  end

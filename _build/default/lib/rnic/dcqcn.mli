@@ -1,0 +1,69 @@
+(** DCQCN rate control (Zhu et al., SIGCOMM'15), as implemented in RNIC
+    firmware and parameterized the way the paper sweeps it.
+
+    The reaction point keeps a current rate [Rc], a target rate [Rt] and a
+    congestion estimate [alpha]:
+
+    - On a congestion signal (CNP — or a NACK, which commodity RNICs also
+      treat as a slow-start trigger, Section 2.2), and at most once every
+      {b TD} ([rate_decrease_interval]): [Rt <- Rc],
+      [Rc <- Rc * (1 - alpha/2)] (for NACKs, [Rc <- Rc * nack_factor]),
+      [alpha <- (1-g) alpha + g], and the recovery stage counter resets.
+
+    - Every {b TI} ([rate_increase_timer]) since the last decrease (and
+      every [byte_counter] bytes sent), a rate-increase event fires:
+      the first [F] events do fast recovery ([Rc <- (Rc+Rt)/2]), the next
+      [F] additive increase ([Rt += Rai]), then hyper increase
+      ([Rt += Rhai]).
+
+    - Every [alpha_timer] without congestion, [alpha <- (1-g) alpha].
+
+    The paper's Figure 5 sweep varies (TI, TD) over {(900,4), (300,4),
+    (10,4), (10,50), (10,200)} microseconds. *)
+
+type config = {
+  g : float;
+  rai : Rate.t;
+  rhai : Rate.t;
+  alpha_timer : Sim_time.t;
+  rate_decrease_interval : Sim_time.t;  (** TD *)
+  rate_increase_timer : Sim_time.t;  (** TI *)
+  byte_counter : int;  (** B; [max_int] disables byte-counter events. *)
+  fast_recovery_rounds : int;  (** F *)
+  nack_slow_start : bool;
+      (** Whether a NACK triggers a rate decrease — the commodity-RNIC
+          behaviour Themis suppresses.  [false] for the Ideal transport. *)
+  nack_factor : float;  (** [Rc] multiplier on a NACK-triggered decrease. *)
+  nack_decrease_interval : Sim_time.t;
+      (** Minimum gap between NACK-triggered slow starts.  NIC firmware
+          applies one "slow restart" per loss episode rather than one per
+          NACK; this gate models the episode granularity (CNP-triggered
+          decreases keep the [TD] gate). *)
+}
+
+val default : config
+(** g = 1/256, Rai = 40 Mbps, Rhai = 400 Mbps, alpha timer 55 us,
+    TI = 900 us, TD = 4 us (the recommended setting the paper starts
+    from), B = 10 MB, F = 5, NACK slow-start on with factor 0.5 at most
+    every 300 us. *)
+
+val with_ti_td : config -> ti_us:float -> td_us:float -> config
+(** The Figure 5 sweep knob. *)
+
+type t
+
+val create : engine:Engine.t -> config:config -> line_rate:Rate.t -> t
+
+val rate : t -> Rate.t
+val target : t -> Rate.t
+val alpha : t -> float
+
+val on_cnp : t -> unit
+val on_nack : t -> unit
+val on_timeout : t -> unit
+(** Treated as a severe congestion signal: rate drops to the minimum. *)
+
+val on_bytes_sent : t -> int -> unit
+
+val decreases : t -> int
+(** Number of rate-decrease events applied (slow starts). *)

@@ -1,0 +1,118 @@
+type mode = Sr | Gbn | Ideal
+
+type actions = {
+  send_ack : epsn:int -> unit;
+  send_nack : epsn:int -> unit;
+  deliver : bytes:int -> unit;
+}
+
+type t = {
+  mode : mode;
+  ack_coalesce : int;
+  actions : actions;
+  mutable epsn : int;
+  ooo : (int, int) Hashtbl.t;  (* seq -> payload, received above ePSN *)
+  mutable nacked_current : bool;  (* a NACK was already sent for this ePSN *)
+  mutable pending_advance : int;  (* in-order advances not yet ACKed *)
+  mutable delivered_bytes : int;
+  mutable dups : int;
+  mutable ooo_dropped : int;
+  mutable nacks_sent : int;
+  mutable acks_sent : int;
+}
+
+let create ~mode ~ack_coalesce ~actions =
+  if ack_coalesce < 1 then invalid_arg "Receiver.create: ack_coalesce >= 1";
+  {
+    mode;
+    ack_coalesce;
+    actions;
+    epsn = 0;
+    ooo = Hashtbl.create 64;
+    nacked_current = false;
+    pending_advance = 0;
+    delivered_bytes = 0;
+    dups = 0;
+    ooo_dropped = 0;
+    nacks_sent = 0;
+    acks_sent = 0;
+  }
+
+let flush_ack t =
+  t.pending_advance <- 0;
+  t.acks_sent <- t.acks_sent + 1;
+  t.actions.send_ack ~epsn:t.epsn
+
+let maybe_ack t ~force =
+  if t.pending_advance >= t.ack_coalesce || (force && t.pending_advance > 0)
+  then flush_ack t
+
+let send_nack_once t =
+  if not t.nacked_current then begin
+    t.nacked_current <- true;
+    t.nacks_sent <- t.nacks_sent + 1;
+    t.actions.send_nack ~epsn:t.epsn
+  end
+
+let deliver t payload =
+  t.delivered_bytes <- t.delivered_bytes + payload;
+  t.actions.deliver ~bytes:payload
+
+(* Advance the ePSN over the contiguous prefix of the bitmap. *)
+let advance t =
+  t.epsn <- t.epsn + 1;
+  t.pending_advance <- t.pending_advance + 1;
+  t.nacked_current <- false;
+  let rec drain () =
+    match Hashtbl.find_opt t.ooo t.epsn with
+    | Some _payload ->
+        Hashtbl.remove t.ooo t.epsn;
+        t.epsn <- t.epsn + 1;
+        t.pending_advance <- t.pending_advance + 1;
+        drain ()
+    | None -> ()
+  in
+  drain ()
+
+let on_data t ~seq ~payload ~last_of_msg =
+  if seq = t.epsn then begin
+    let before = t.epsn in
+    deliver t payload;
+    advance t;
+    let filled_gap = t.epsn - before > 1 in
+    maybe_ack t ~force:(last_of_msg || filled_gap)
+  end
+  else if seq < t.epsn then begin
+    (* Duplicate of an already-delivered sequence: re-ACK so a sender whose
+       ACKs were lost can advance. *)
+    t.dups <- t.dups + 1;
+    flush_ack t
+  end
+  else begin
+    (* Out of order: seq > ePSN. *)
+    match t.mode with
+    | Gbn ->
+        t.ooo_dropped <- t.ooo_dropped + 1;
+        send_nack_once t
+    | Sr ->
+        if Hashtbl.mem t.ooo seq then t.dups <- t.dups + 1
+        else begin
+          Hashtbl.add t.ooo seq payload;
+          deliver t payload
+        end;
+        send_nack_once t
+    | Ideal ->
+        if Hashtbl.mem t.ooo seq then t.dups <- t.dups + 1
+        else begin
+          Hashtbl.add t.ooo seq payload;
+          deliver t payload
+        end
+  end
+
+let epsn t = t.epsn
+let delivered_bytes t = t.delivered_bytes
+let duplicate_packets t = t.dups
+let ooo_dropped t = t.ooo_dropped
+let nacks_sent t = t.nacks_sent
+let acks_sent t = t.acks_sent
+let ooo_buffered t = Hashtbl.length t.ooo

@@ -1,0 +1,50 @@
+(** The responder-side reliable-transport state machine of a commodity
+    RNIC (Section 2.2), in three generations:
+
+    - [Sr] — NIC-SR (CX-6/CX-7/BF-3 class): out-of-order packets are
+      accepted into a bitmap-tracked buffer; a packet with PSN above the
+      expected PSN (ePSN) triggers {e at most one} NACK per distinct ePSN
+      value, carrying only the ePSN; the ePSN advances over the bitmap on
+      in-order arrival.
+
+    - [Gbn] — Go-Back-N (CX-4/CX-5 class): out-of-order packets are
+      dropped, then NACKed (once per ePSN).
+
+    - [Ideal] — an oracle receiver that accepts out-of-order arrivals and
+      never NACKs; the upper-bound transport of Fig. 1d.
+
+    The module works on monotonic (unwrapped) sequence numbers; the NIC
+    truncates to 24-bit PSNs at the wire and unwraps on reception. *)
+
+type mode = Sr | Gbn | Ideal
+
+type actions = {
+  send_ack : epsn:int -> unit;
+      (** Cumulative acknowledgement: all sequences below [epsn] held. *)
+  send_nack : epsn:int -> unit;
+  deliver : bytes:int -> unit;
+      (** Payload bytes placed into application memory (each sequence
+          counted exactly once). *)
+}
+
+type t
+
+val create : mode:mode -> ack_coalesce:int -> actions:actions -> t
+(** [ack_coalesce >= 1]: emit the cumulative ACK only after that many
+    in-order advances (a message-final packet always flushes it). *)
+
+val on_data : t -> seq:int -> payload:int -> last_of_msg:bool -> unit
+
+val epsn : t -> int
+
+val delivered_bytes : t -> int
+val duplicate_packets : t -> int
+
+val ooo_dropped : t -> int
+(** GBN only. *)
+
+val nacks_sent : t -> int
+val acks_sent : t -> int
+
+val ooo_buffered : t -> int
+(** Currently held out-of-order sequences. *)

@@ -1,0 +1,221 @@
+type transport = [ `Sr | `Gbn | `Ideal ]
+
+type config = {
+  mtu : int;
+  transport : transport;
+  window : int;
+  rto : Sim_time.t;
+  ack_coalesce : int;
+  cnp_interval : Sim_time.t;
+  cc : Dcqcn.config;
+  line_rate : Rate.t;
+}
+
+let default_config ~line_rate =
+  {
+    mtu = 1500;
+    transport = `Sr;
+    window = 512;
+    rto = Sim_time.ms 1;
+    ack_coalesce = 4;
+    cnp_interval = Sim_time.us 50;
+    cc = Dcqcn.default;
+    line_rate;
+  }
+
+type rctx = {
+  recv : Receiver.t;
+  r_conn : Flow_id.t;
+  r_sport : int;
+  mutable last_cnp : Sim_time.t;
+  mutable cnps_tx : int;
+}
+
+type t = {
+  engine : Engine.t;
+  node : int;
+  cfg : config;
+  mutable port : Port.t option;
+  senders : Sender.t Flow_id.Table.t;
+  receivers : rctx Flow_id.Table.t;
+  mutable next_qpn : int;
+  mutable on_data_tx : Packet.t -> unit;
+  mutable nacks_sent : int;
+  mutable cnps_sent : int;
+}
+
+type qp = { nic : t; snd : Sender.t }
+
+let create ~engine ~node ~config =
+  {
+    engine;
+    node;
+    cfg = config;
+    port = None;
+    senders = Flow_id.Table.create 16;
+    receivers = Flow_id.Table.create 16;
+    next_qpn = 1;
+    on_data_tx = ignore;
+    nacks_sent = 0;
+    cnps_sent = 0;
+  }
+
+let set_port t port = t.port <- Some port
+let node t = t.node
+let config t = t.cfg
+let set_on_data_tx t f = t.on_data_tx <- f
+
+let port_exn t =
+  match t.port with
+  | Some p -> p
+  | None -> failwith "Rnic: port not wired (missing set_port)"
+
+let transmit_data t pkt =
+  t.on_data_tx pkt;
+  Port.enqueue (port_exn t) pkt
+
+let transmit_control t pkt = Port.enqueue (port_exn t) pkt
+
+(* --- Receive side --------------------------------------------------- *)
+
+let receiver_mode = function
+  | `Sr -> Receiver.Sr
+  | `Gbn -> Receiver.Gbn
+  | `Ideal -> Receiver.Ideal
+
+let register_receiver t ~conn ~sport =
+  let ctx =
+    {
+        recv =
+          Receiver.create
+            ~mode:(receiver_mode t.cfg.transport)
+            ~ack_coalesce:t.cfg.ack_coalesce
+            ~actions:
+              {
+                Receiver.send_ack =
+                  (fun ~epsn ->
+                    transmit_control t
+                      (Packet.ack ~conn ~sport ~psn:(Psn.of_int epsn)
+                         ~birth:(Engine.now t.engine)));
+                Receiver.send_nack =
+                  (fun ~epsn ->
+                    t.nacks_sent <- t.nacks_sent + 1;
+                    transmit_control t
+                      (Packet.nack ~conn ~sport ~epsn:(Psn.of_int epsn)
+                         ~birth:(Engine.now t.engine)));
+                Receiver.deliver = (fun ~bytes:_ -> ());
+              };
+      r_conn = conn;
+      r_sport = sport;
+      last_cnp = Sim_time.ns (-1_000_000_000);
+      cnps_tx = 0;
+    }
+  in
+  Flow_id.Table.replace t.receivers conn ctx;
+  ctx
+
+let maybe_cnp t (ctx : rctx) =
+  let now = Engine.now t.engine in
+  if Sim_time.diff now ctx.last_cnp >= t.cfg.cnp_interval then begin
+    ctx.last_cnp <- now;
+    ctx.cnps_tx <- ctx.cnps_tx + 1;
+    t.cnps_sent <- t.cnps_sent + 1;
+    transmit_control t
+      (Packet.cnp ~conn:ctx.r_conn ~sport:ctx.r_sport ~birth:now)
+  end
+
+let on_data_packet t (pkt : Packet.t) psn payload last_of_msg =
+  match Flow_id.Table.find_opt t.receivers pkt.Packet.conn with
+  | None ->
+      (* Unknown QP: a real NIC would answer with an error; in the
+         simulator this indicates a wiring bug. *)
+      failwith
+        (Format.asprintf "Rnic %d: data for unknown QP %a" t.node Flow_id.pp
+           pkt.Packet.conn)
+  | Some ctx ->
+      if pkt.Packet.ecn = Headers.Ce then maybe_cnp t ctx;
+      let seq = Psn.unwrap ~near:(Receiver.epsn ctx.recv) psn in
+      Receiver.on_data ctx.recv ~seq ~payload ~last_of_msg
+
+let on_sender_packet t (pkt : Packet.t) f =
+  match Flow_id.Table.find_opt t.senders pkt.Packet.conn with
+  | None -> ()
+  | Some snd -> f snd
+
+let receive t (pkt : Packet.t) =
+  match pkt.Packet.kind with
+  | Packet.Data { psn; payload; last_of_msg } ->
+      on_data_packet t pkt psn payload last_of_msg
+  | Packet.Ack { psn } -> on_sender_packet t pkt (fun s -> Sender.on_ack s psn)
+  | Packet.Nack { epsn } ->
+      on_sender_packet t pkt (fun s -> Sender.on_nack s epsn)
+  | Packet.Cnp -> on_sender_packet t pkt Sender.on_cnp
+  | Packet.Pause _ -> ()
+
+(* --- Connection setup ------------------------------------------------ *)
+
+let sender_mode = function
+  | `Sr | `Ideal -> Sender.Sr_retx
+  | `Gbn -> Sender.Gbn_retx
+
+let cc_config cfg =
+  match cfg.transport with
+  | `Ideal -> { cfg.cc with Dcqcn.nack_slow_start = false }
+  | `Sr | `Gbn -> cfg.cc
+
+let connect t ~dst ?qpn ?sport () =
+  let qpn =
+    match qpn with
+    | Some q -> q
+    | None ->
+        let q = t.next_qpn in
+        t.next_qpn <- t.next_qpn + 1;
+        q
+  in
+  let conn = Flow_id.make ~src:t.node ~dst:dst.node ~qpn in
+  let sport =
+    match sport with
+    | Some s -> s
+    | None -> 0x8000 lor (Ecmp_hash.mix (Flow_id.hash conn) land 0x7FFF)
+  in
+  if Flow_id.Table.mem t.senders conn then
+    invalid_arg "Rnic.connect: QP already exists";
+  let snd =
+    Sender.create ~engine:t.engine ~conn ~sport
+      ~config:
+        {
+          Sender.mtu = t.cfg.mtu;
+          mode = sender_mode t.cfg.transport;
+          window = t.cfg.window;
+          rto = t.cfg.rto;
+          cc = cc_config t.cfg;
+        }
+      ~line_rate:t.cfg.line_rate
+      ~transmit:(fun pkt -> transmit_data t pkt)
+  in
+  Flow_id.Table.replace t.senders conn snd;
+  ignore (register_receiver dst ~conn ~sport);
+  { nic = t; snd }
+
+let post_send qp ~bytes ~on_complete = Sender.post qp.snd ~bytes ~on_complete
+let qp_conn qp = Sender.conn qp.snd
+let qp_rate qp = Sender.rate qp.snd
+let qp_sender qp = qp.snd
+
+(* --- Counters --------------------------------------------------------- *)
+
+let sum_senders t f =
+  Flow_id.Table.fold (fun _ s acc -> acc + f s) t.senders 0
+
+let data_packets_sent t = sum_senders t Sender.data_packets_sent
+let retx_packets_sent t = sum_senders t Sender.retx_packets_sent
+let nacks_received t = sum_senders t Sender.nacks_received
+let nacks_sent t = t.nacks_sent
+let cnps_sent t = t.cnps_sent
+
+let delivered_bytes t =
+  Flow_id.Table.fold
+    (fun _ ctx acc -> acc + Receiver.delivered_bytes ctx.recv)
+    t.receivers 0
+
+let senders t = Flow_id.Table.fold (fun _ s acc -> s :: acc) t.senders []

@@ -1,0 +1,243 @@
+type mode = Sr_retx | Gbn_retx
+
+type config = {
+  mtu : int;
+  mode : mode;
+  window : int;
+  rto : Sim_time.t;
+  cc : Dcqcn.config;
+}
+
+type msg = {
+  start : int;
+  packets : int;
+  bytes : int;
+  on_complete : Sim_time.t -> unit;
+}
+
+type t = {
+  engine : Engine.t;
+  conn : Flow_id.t;
+  sport : int;
+  cfg : config;
+  cc : Dcqcn.t;
+  transmit : Packet.t -> unit;
+  msgs : msg Queue.t;
+  mutable next_seq : int;  (* next sequence the send loop will consider *)
+  mutable max_sent : int;  (* highest sequence ever transmitted *)
+  mutable una : int;  (* lowest unacknowledged sequence *)
+  mutable end_seq : int;  (* first sequence beyond all posted data *)
+  retx : int Queue.t;
+  retx_pending : (int, unit) Hashtbl.t;
+  mutable pacing : bool;
+  mutable rto_handle : Engine.handle option;
+  mutable data_sent : int;
+  mutable retx_sent : int;
+  mutable nacks_rx : int;
+  mutable cnps_rx : int;
+  mutable timeouts : int;
+  mutable bytes_completed : int;
+}
+
+let create ~engine ~conn ~sport ~config ~line_rate ~transmit =
+  if config.mtu <= 0 then invalid_arg "Sender.create: mtu";
+  if config.window <= 0 then invalid_arg "Sender.create: window";
+  {
+    engine;
+    conn;
+    sport;
+    cfg = config;
+    cc = Dcqcn.create ~engine ~config:config.cc ~line_rate;
+    transmit;
+    msgs = Queue.create ();
+    next_seq = 0;
+    max_sent = -1;
+    una = 0;
+    end_seq = 0;
+    retx = Queue.create ();
+    retx_pending = Hashtbl.create 16;
+    pacing = false;
+    rto_handle = None;
+    data_sent = 0;
+    retx_sent = 0;
+    nacks_rx = 0;
+    cnps_rx = 0;
+    timeouts = 0;
+    bytes_completed = 0;
+  }
+
+let conn t = t.conn
+let sport t = t.sport
+let rate t = Dcqcn.rate t.cc
+let cc t = t.cc
+let outstanding t = t.next_seq - t.una
+let idle t = t.una >= t.end_seq
+let data_packets_sent t = t.data_sent
+let retx_packets_sent t = t.retx_sent
+let nacks_received t = t.nacks_rx
+let cnps_received t = t.cnps_rx
+let timeouts t = t.timeouts
+let bytes_completed t = t.bytes_completed
+
+(* Locate the message containing [seq] to derive its payload size and
+   whether it ends a message.  Only active (not fully acked) messages are
+   in the queue, and retransmissions are never below [una], so a linear
+   scan over the few active messages suffices. *)
+let payload_of t seq =
+  let found = ref None in
+  Queue.iter
+    (fun m ->
+      if !found = None && seq >= m.start && seq < m.start + m.packets then
+        found := Some m)
+    t.msgs;
+  match !found with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Sender: sequence %d not in any active message" seq)
+  | Some m ->
+      let last = seq = m.start + m.packets - 1 in
+      let payload =
+        if last then m.bytes - ((m.packets - 1) * t.cfg.mtu) else t.cfg.mtu
+      in
+      (payload, last)
+
+let cancel_rto t =
+  (match t.rto_handle with Some h -> Engine.cancel h | None -> ());
+  t.rto_handle <- None
+
+let rec arm_rto t =
+  cancel_rto t;
+  t.rto_handle <- Some (Engine.schedule t.engine ~delay:t.cfg.rto (fun () -> on_rto t))
+
+and on_rto t =
+  t.rto_handle <- None;
+  if t.una < t.next_seq then begin
+    t.timeouts <- t.timeouts + 1;
+    (match t.cfg.mode with
+    | Sr_retx ->
+        if not (Hashtbl.mem t.retx_pending t.una) then begin
+          Hashtbl.add t.retx_pending t.una ();
+          Queue.add t.una t.retx
+        end
+    | Gbn_retx ->
+        t.next_seq <- t.una;
+        Queue.clear t.retx;
+        Hashtbl.reset t.retx_pending);
+    Dcqcn.on_timeout t.cc;
+    arm_rto t;
+    try_send t
+  end
+
+and pick_next t =
+  (* Retransmissions take priority; stale entries (already acked) are
+     discarded on the way. *)
+  let rec from_retx () =
+    match Queue.take_opt t.retx with
+    | None -> None
+    | Some seq ->
+        Hashtbl.remove t.retx_pending seq;
+        if seq >= t.una then Some (seq, true) else from_retx ()
+  in
+  match from_retx () with
+  | Some _ as r -> r
+  | None ->
+      if t.next_seq < t.end_seq && t.next_seq - t.una < t.cfg.window then begin
+        let seq = t.next_seq in
+        t.next_seq <- t.next_seq + 1;
+        Some (seq, false)
+      end
+      else None
+
+and try_send t =
+  if not t.pacing then begin
+    match pick_next t with
+    | None -> ()
+    | Some (seq, retx_queued) ->
+        (* A GBN rewind re-walks already-sent sequences through the
+           "fresh" path; anything at or below the high-water mark is a
+           retransmission regardless of how it was picked. *)
+        let is_retx = retx_queued || seq <= t.max_sent in
+        if seq > t.max_sent then t.max_sent <- seq;
+        let payload, last = payload_of t seq in
+        let pkt =
+          Packet.data ~conn:t.conn ~sport:t.sport ~psn:(Psn.of_int seq)
+            ~payload ~last_of_msg:last ~retransmission:is_retx
+            ~birth:(Engine.now t.engine) ()
+        in
+        t.data_sent <- t.data_sent + 1;
+        if is_retx then t.retx_sent <- t.retx_sent + 1;
+        Dcqcn.on_bytes_sent t.cc pkt.Packet.size;
+        if t.rto_handle = None then arm_rto t;
+        t.transmit pkt;
+        (* Hardware rate pacing: the next packet may leave one
+           serialization time (at the DCQCN current rate) later. *)
+        t.pacing <- true;
+        let gap = Rate.tx_time (Dcqcn.rate t.cc) ~bytes_:pkt.Packet.size in
+        ignore
+          (Engine.schedule t.engine ~delay:gap (fun () ->
+               t.pacing <- false;
+               try_send t))
+  end
+
+let post t ~bytes ~on_complete =
+  if bytes <= 0 then invalid_arg "Sender.post: bytes must be positive";
+  let packets = (bytes + t.cfg.mtu - 1) / t.cfg.mtu in
+  Queue.add { start = t.end_seq; packets; bytes; on_complete } t.msgs;
+  t.end_seq <- t.end_seq + packets;
+  try_send t
+
+let complete_msgs t =
+  let rec loop () =
+    match Queue.peek_opt t.msgs with
+    | Some m when t.una >= m.start + m.packets ->
+        ignore (Queue.pop t.msgs);
+        t.bytes_completed <- t.bytes_completed + m.bytes;
+        m.on_complete (Engine.now t.engine);
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let advance_una t seq =
+  if seq > t.una then begin
+    t.una <- seq;
+    complete_msgs t;
+    if t.una >= t.next_seq && Queue.is_empty t.retx then cancel_rto t
+    else arm_rto t
+  end
+
+let on_ack t psn =
+  let seq = Psn.unwrap ~near:t.una psn in
+  advance_una t seq;
+  try_send t
+
+let on_nack t psn =
+  t.nacks_rx <- t.nacks_rx + 1;
+  let seq = Psn.unwrap ~near:t.una psn in
+  (* The NACK's ePSN is cumulative: everything below it was received. *)
+  advance_una t seq;
+  (match t.cfg.mode with
+  | Sr_retx ->
+      (* Retransmit exactly the packet named by the ePSN. *)
+      if
+        seq >= t.una && seq < t.next_seq
+        && not (Hashtbl.mem t.retx_pending seq)
+      then begin
+        Hashtbl.add t.retx_pending seq ();
+        Queue.add seq t.retx
+      end
+  | Gbn_retx ->
+      (* Go back: rewind and resend everything from the ePSN. *)
+      if seq < t.next_seq then begin
+        t.next_seq <- Stdlib.max seq t.una;
+        Queue.clear t.retx;
+        Hashtbl.reset t.retx_pending
+      end);
+  (* The slow start the paper blames: a NACK is treated as congestion. *)
+  Dcqcn.on_nack t.cc;
+  if t.rto_handle = None && t.una < t.next_seq then arm_rto t;
+  try_send t
+
+let on_cnp t =
+  t.cnps_rx <- t.cnps_rx + 1;
+  Dcqcn.on_cnp t.cc

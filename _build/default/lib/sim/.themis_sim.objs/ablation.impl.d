@@ -1,0 +1,1 @@
+lib/sim/ablation.ml: Array Dcqcn Float Flow_table Headers Leaf_spine List Network Option Port Psn_queue Rnic Sender Sim_time Stdlib Switch Themis_d Workload

@@ -1,0 +1,1 @@
+lib/sim/ablation.mli: Sim_time

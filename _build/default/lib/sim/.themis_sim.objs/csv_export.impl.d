@@ -1,0 +1,1 @@
+lib/sim/csv_export.ml: Buffer Fun List Printf String

@@ -1,0 +1,1 @@
+lib/sim/csv_export.mli:

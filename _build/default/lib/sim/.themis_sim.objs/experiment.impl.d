@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Array Dcqcn Engine Flow_id Leaf_spine List Network Option Packet Printf Rnic Schedule Sim_time Stats Stdlib Workload

@@ -1,0 +1,1 @@
+lib/sim/experiment.mli: Leaf_spine Network Rnic Sim_time

@@ -1,0 +1,1 @@
+lib/sim/fat_tree_net.ml: Array Ecn Engine Fat_tree Hashtbl Headers Lb_policy List Network Packet Path_map Port Printf Psn_queue Rate Rng Rnic Routing Sim_time Switch Themis_d Themis_s Topology

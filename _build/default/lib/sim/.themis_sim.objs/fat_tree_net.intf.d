@@ -1,0 +1,1 @@
+lib/sim/fat_tree_net.mli: Engine Fat_tree Network Rate Rnic Sim_time Switch

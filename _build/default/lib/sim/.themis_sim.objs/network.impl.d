@@ -1,0 +1,1 @@
+lib/sim/network.ml: Array Ecn Engine Hashtbl Headers Lb_policy Leaf_spine List Option Packet Port Printf Psn_queue Rate Rng Rnic Routing Sim_time Switch Themis_d Themis_s Topology

@@ -1,0 +1,1 @@
+lib/sim/network.mli: Engine Leaf_spine Rnic Routing Sim_time Switch

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Array Hashtbl Leaf_spine List Network Rng Rnic Runner Schedule

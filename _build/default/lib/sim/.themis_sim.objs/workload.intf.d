@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Leaf_spine Network Rng Rnic Runner Schedule Sim_time

@@ -1,0 +1,66 @@
+(** Ablation studies for the design choices DESIGN.md calls out.
+
+    These are not paper figures; they quantify why each Themis mechanism
+    exists by disabling it:
+
+    - {!compensation}: blocked NACKs with vs without the §3.4 compensation
+      machinery, under real fabric loss — without it, every genuinely lost
+      packet that Themis filtered must wait for the sender's RTO.
+    - {!queue_factor}: the §4 ring-sizing factor F — too small a ring
+      drains before the tPSN is found and Themis must conservatively
+      forward (spurious retransmissions return).
+    - {!transports}: the RNIC generations of §2.2 (GBN, NIC-SR, NIC-SR +
+      Themis, Ideal) on the same sprayed workload.
+    - {!filtering}: PSN spraying alone vs PSN spraying + NACK filtering —
+      Eq. 1 without Themis-D inherits all of NIC-SR's pathologies. *)
+
+type compensation_row = {
+  comp_enabled : bool;
+  completion_us : float;
+  timeouts : int;
+  compensations : int;
+}
+
+val compensation : ?drops:int -> ?seed:int -> unit -> compensation_row list
+(** One cross-rack flow with [drops] forced fabric losses, compensation on
+    and off. *)
+
+type queue_factor_row = {
+  factor : float;
+  underflow_forwards : int;
+  blocked : int;
+  retx : int;
+  qf_completion_us : float;
+}
+
+val queue_factor :
+  ?factors:float list -> ?jitter:Sim_time.t -> ?seed:int -> unit ->
+  queue_factor_row list
+(** The motivation workload under Themis with the ring sized by each
+    factor (paper default 1.5).  [jitter] adds uniform host->ToR delay
+    fluctuation, the condition F provisions for: undersized rings then
+    overwrite triggers and misvalidate. *)
+
+type transport_row = {
+  label : string;
+  goodput_gbps : float;
+  retx_ratio : float;
+  nacks_to_sender : int;
+}
+
+val transports : ?seed:int -> unit -> transport_row list
+(** GBN / NIC-SR / NIC-SR + Themis / Ideal on the Fig. 1 workload. *)
+
+val filtering : ?seed:int -> unit -> transport_row list
+(** PSN spraying with and without destination-side NACK filtering. *)
+
+type memory_row = {
+  tor_flow_tables_bytes : int;  (** Measured: sum over ToRs of Eq. 4 state. *)
+  model_bytes : int;  (** Predicted by {!Memory_model} for the same shape. *)
+  qps : int;
+}
+
+val memory_footprint : ?seed:int -> unit -> memory_row
+(** Runs a multi-QP workload, then compares the flow-table + ring memory
+    actually allocated on the ToRs against the Section 4 analytical
+    model evaluated at the same QP count, bandwidth, RTT and MTU. *)

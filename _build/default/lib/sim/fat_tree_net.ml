@@ -1,0 +1,223 @@
+type params = {
+  k : int;
+  host_bw : Rate.t;
+  fabric_bw : Rate.t;
+  link_delay : Sim_time.t;
+  nic : Rnic.config;
+  themis : bool;
+  compensation : bool;
+  buffer_capacity : int;
+  per_port_cap : int;
+  ecn_enabled : bool;
+  queue_factor : float;
+  ft_seed : int;
+}
+
+let default_params ?(k = 4) ~themis () =
+  let host_bw = Rate.gbps 100. in
+  {
+    k;
+    host_bw;
+    fabric_bw = Rate.gbps 100.;
+    link_delay = Sim_time.us 1;
+    nic = Rnic.default_config ~line_rate:host_bw;
+    themis;
+    compensation = true;
+    buffer_capacity = 64 * 1024 * 1024;
+    per_port_cap = 9 * 1024 * 1024;
+    ecn_enabled = true;
+    queue_factor = 1.5;
+    ft_seed = 42;
+  }
+
+type t = {
+  engine : Engine.t;
+  params : params;
+  ft : Fat_tree.t;
+  routing : Routing.t;
+  switches : (int, Switch.t) Hashtbl.t;
+  nics : Rnic.t array;
+  mutable themis_ds : Themis_d.t list;
+  mutable themis_ss : Themis_s.t list;
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n / 2) in
+  go 0 n
+
+let build (params : params) =
+  if params.k < 4 || not (is_power_of_two (params.k / 2)) then
+    invalid_arg "Fat_tree_net.build: k/2 must be a power of two, k >= 4";
+  let engine = Engine.create () in
+  let ft =
+    Fat_tree.build ~k:params.k ~host_bw:params.host_bw
+      ~fabric_bw:params.fabric_bw ~link_delay:params.link_delay
+  in
+  let topo = ft.Fat_tree.topo in
+  let routing = Routing.compute topo in
+  let half = params.k / 2 in
+  let tier_bits = log2 half in
+  let n_paths = half * half in
+  let nics =
+    Array.init
+      (Array.length ft.Fat_tree.hosts)
+      (fun host -> Rnic.create ~engine ~node:host ~config:params.nic)
+  in
+  let root_rng = Rng.create ~seed:params.ft_seed in
+  let switches = Hashtbl.create 64 in
+  (* Edge and core consume the low hash window; aggregation switches the
+     next one, so the PathMap's 2*tier_bits of entropy pick (agg, core)
+     independently. *)
+  let add_switch ~shift node =
+    let cfg =
+      {
+        Switch.lb = Lb_policy.Ecmp;
+        ecn =
+          (if params.ecn_enabled then Some (Ecn.scaled_to params.fabric_bw)
+           else None);
+        buffer_capacity = params.buffer_capacity;
+        per_port_cap = params.per_port_cap;
+        fwd_delay = Sim_time.zero;
+        pfc = None;
+        ecmp_shift = shift;
+      }
+    in
+    Hashtbl.replace switches node
+      (Switch.create ~engine ~topo ~routing ~node ~config:cfg
+         ~rng:(Rng.split root_rng))
+  in
+  Array.iter (add_switch ~shift:0) ft.Fat_tree.edges;
+  Array.iter (add_switch ~shift:tier_bits) ft.Fat_tree.aggs;
+  Array.iter (add_switch ~shift:0) ft.Fat_tree.cores;
+  let t =
+    {
+      engine;
+      params;
+      ft;
+      routing;
+      switches;
+      nics;
+      themis_ds = [];
+      themis_ss = [];
+    }
+  in
+  if params.themis then begin
+    let queue_capacity =
+      Psn_queue.capacity_for ~bw:params.host_bw
+        ~rtt:
+          ((2 * params.link_delay)
+          + Rate.tx_time params.host_bw
+              ~bytes_:(params.nic.Rnic.mtu + Headers.data_overhead)
+          + Rate.tx_time params.host_bw ~bytes_:Headers.ack_bytes)
+        ~mtu:(params.nic.Rnic.mtu + Headers.data_overhead)
+        ~factor:params.queue_factor
+    in
+    let map = Path_map.build ~paths:n_paths in
+    Array.iter
+      (fun edge ->
+        let sw = Hashtbl.find switches edge in
+        let themis_s =
+          Themis_s.create ~paths:n_paths ~mode:(Themis_s.Sport_rewrite map)
+        in
+        let themis_d =
+          Themis_d.create ~paths:n_paths ~queue_capacity
+            ~compensation:params.compensation
+            ~inject_nack:(fun ~conn ~sport ~epsn ->
+              Switch.inject sw
+                (Packet.nack ~conn ~sport ~epsn ~birth:(Engine.now engine)))
+            ()
+        in
+        t.themis_ss <- themis_s :: t.themis_ss;
+        t.themis_ds <- themis_d :: t.themis_ds;
+        Switch.set_themis sw ~s:(Some themis_s) ~d:(Some themis_d))
+      ft.Fat_tree.edges
+  end;
+  (* Wiring. *)
+  let deliver_to node pkt =
+    if Topology.is_host topo node then Rnic.receive nics.(node) pkt
+    else Switch.receive (Hashtbl.find switches node) pkt
+  in
+  for link_id = 0 to Topology.link_count topo - 1 do
+    let link = Topology.link topo link_id in
+    let dir src dst =
+      let port =
+        Port.create ~engine ~bandwidth:link.Topology.bandwidth
+          ~delay:link.Topology.delay ~label:(Printf.sprintf "%d->%d" src dst)
+      in
+      Port.set_deliver port (deliver_to dst);
+      if Topology.is_host topo src then Rnic.set_port nics.(src) port
+      else Switch.attach_port (Hashtbl.find switches src) ~link_id ~peer:dst port
+    in
+    dir link.Topology.a link.Topology.b;
+    dir link.Topology.b link.Topology.a
+  done;
+  t
+
+let engine t = t.engine
+let fat_tree t = t.ft
+
+let n_paths t =
+  let half = t.params.k / 2 in
+  half * half
+
+let nic t ~host = t.nics.(host)
+let switch t ~node = Hashtbl.find t.switches node
+
+let connect t ~src ~dst =
+  let qp = Rnic.connect t.nics.(src) ~dst:t.nics.(dst) () in
+  let dst_tor = Fat_tree.tor_of_host t.ft dst in
+  (match Switch.themis_d (Hashtbl.find t.switches dst_tor) with
+  | Some d -> Themis_d.register_flow d (Rnic.qp_conn qp)
+  | None -> ());
+  qp
+
+let run ?until t = Engine.run ?until t.engine
+
+let sum_nics t f = Array.fold_left (fun acc nic -> acc + f nic) 0 t.nics
+let total_data_packets t = sum_nics t Rnic.data_packets_sent
+let total_retx_packets t = sum_nics t Rnic.retx_packets_sent
+let total_nacks_generated t = sum_nics t Rnic.nacks_sent
+let total_nacks_delivered t = sum_nics t Rnic.nacks_received
+
+let themis_totals t =
+  match t.themis_ds with
+  | [] -> None
+  | ds ->
+      let z =
+        {
+          Network.nacks_seen = 0;
+          nacks_blocked = 0;
+          nacks_forwarded_valid = 0;
+          nacks_forwarded_underflow = 0;
+          compensation_sent = 0;
+          compensation_cancelled = 0;
+          queue_overwrites = 0;
+        }
+      in
+      Some
+        (List.fold_left
+           (fun (acc : Network.themis_totals) d ->
+             let s = Themis_d.stats d in
+             {
+               Network.nacks_seen = acc.Network.nacks_seen + s.Themis_d.nacks_seen;
+               nacks_blocked = acc.Network.nacks_blocked + s.Themis_d.nacks_blocked;
+               nacks_forwarded_valid =
+                 acc.Network.nacks_forwarded_valid
+                 + s.Themis_d.nacks_forwarded_valid;
+               nacks_forwarded_underflow =
+                 acc.Network.nacks_forwarded_underflow
+                 + s.Themis_d.nacks_forwarded_underflow;
+               compensation_sent =
+                 acc.Network.compensation_sent + s.Themis_d.compensation_sent;
+               compensation_cancelled =
+                 acc.Network.compensation_cancelled
+                 + s.Themis_d.compensation_cancelled;
+               queue_overwrites =
+                 acc.Network.queue_overwrites + Themis_d.queue_overwrites d;
+             })
+           z ds)
+
+let sprayed_packets t =
+  List.fold_left (fun acc s -> acc + Themis_s.sprayed_packets s) 0 t.themis_ss

@@ -1,0 +1,95 @@
+(** Instantiates a complete simulated RDMA network: a leaf–spine fabric,
+    one switch model per switch node, one RNIC per host, the links between
+    them, and (for the Themis scheme) the middleware on every ToR. *)
+
+type scheme =
+  | Ecmp
+  | Adaptive  (** Per-packet adaptive routing — the AR baseline of §5. *)
+  | Random_spray
+  | Psn_spray_only
+      (** PSN-based spraying with no NACK filtering (ablation). *)
+  | Themis of { compensation : bool }
+      (** Themis-S + Themis-D on every ToR (full system when
+          [compensation]). *)
+
+val scheme_to_string : scheme -> string
+val scheme_of_string : string -> (scheme, string) result
+
+type params = {
+  fabric : Leaf_spine.params;
+  scheme : scheme;
+  nic : Rnic.config;
+  buffer_capacity : int;  (** Per-switch shared buffer (paper: 64 MB). *)
+  per_port_cap : int;
+  ecn_enabled : bool;
+  pfc : Switch.pfc_config option;
+  queue_factor : float;  (** Themis-D ring sizing factor F. *)
+  last_hop_jitter : Sim_time.t;
+      (** Uniform extra delay in [[0, jitter]] on every host -> ToR packet
+          (ACKs, NACKs, CNPs and host data entering the fabric): the RTT
+          fluctuation Section 4's expansion factor F provisions for. *)
+  seed : int;
+}
+
+val default_params : fabric:Leaf_spine.params -> scheme:scheme -> params
+
+val last_hop_rtt : params -> Sim_time.t
+(** The bound used to size Themis-D rings: two propagation delays plus a
+    data and a control serialization time on the host link. *)
+
+type t
+
+val build : params -> t
+
+val engine : t -> Engine.t
+val params : t -> params
+val fabric : t -> Leaf_spine.t
+val routing : t -> Routing.t
+val nic : t -> host:int -> Rnic.t
+val switch : t -> node:int -> Switch.t
+val tor_switches : t -> Switch.t list
+val n_paths : t -> int
+
+val connect : t -> src:int -> dst:int -> Rnic.qp
+(** Create a QP between two hosts (node ids) and register the flow with
+    the destination ToR's Themis-D (the paper's handshake
+    interception). *)
+
+val run : ?until:Sim_time.t -> t -> unit
+(** Drive the engine until it drains (all transfers complete and all
+    timers parked) or until the horizon. *)
+
+val now : t -> Sim_time.t
+
+val fail_link :
+  ?mode:[ `Fallback_ecmp | `Shrink_pathset ] -> t -> link_id:int -> unit
+(** Section 6 failure handling: take the link down, flush its ports and
+    recompute routing.  Under the Themis scheme, [`Fallback_ecmp] (the
+    paper's deployed behaviour, default) disables the middleware on every
+    ToR and reverts to ECMP; [`Shrink_pathset] (the paper's future-work
+    direction) keeps Themis active but re-sprays over the spines whose
+    ToR links all survive. *)
+
+val themis_active : t -> bool
+
+(** Aggregates across the fabric. *)
+
+type themis_totals = {
+  nacks_seen : int;
+  nacks_blocked : int;
+  nacks_forwarded_valid : int;
+  nacks_forwarded_underflow : int;
+  compensation_sent : int;
+  compensation_cancelled : int;
+  queue_overwrites : int;
+}
+
+val themis_totals : t -> themis_totals option
+
+val total_data_packets : t -> int
+val total_retx_packets : t -> int
+val total_nacks_generated : t -> int  (* by receiver NICs *)
+val total_nacks_delivered : t -> int  (* reaching senders *)
+val total_cnps : t -> int
+val total_buffer_drops : t -> int
+val total_ecn_marks : t -> int

@@ -1,0 +1,1 @@
+lib/switch/ecn.ml: Rate Rng

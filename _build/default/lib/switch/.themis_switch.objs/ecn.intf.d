@@ -1,0 +1,1 @@
+lib/switch/ecn.mli: Rate Rng

@@ -1,0 +1,1 @@
+lib/switch/lb_policy.ml: Ecmp_hash Format Headers Packet Printf Rng Spray

@@ -1,0 +1,1 @@
+lib/switch/lb_policy.mli: Format Packet Rng

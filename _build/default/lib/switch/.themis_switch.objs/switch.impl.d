@@ -1,0 +1,1 @@
+lib/switch/switch.ml: Array Buffer_pool Ecn Engine Hashtbl Headers Lb_policy List Packet Port Rng Routing Sim_time Themis_d Themis_s Topology Trace

@@ -1,0 +1,1 @@
+lib/switch/switch.mli: Buffer_pool Ecn Engine Lb_policy Packet Port Rate Rng Routing Sim_time Themis_d Themis_s Topology

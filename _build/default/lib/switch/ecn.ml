@@ -1,0 +1,21 @@
+type config = { kmin : int; kmax : int; pmax : float }
+
+let config ~kmin ~kmax ~pmax =
+  if kmin < 0 || kmax < kmin then invalid_arg "Ecn.config: need 0 <= kmin <= kmax";
+  if pmax < 0. || pmax > 1. then invalid_arg "Ecn.config: pmax must be in [0,1]";
+  { kmin; kmax; pmax }
+
+let scaled_to bw =
+  let scale = Rate.to_gbps bw /. 100. in
+  config
+    ~kmin:(int_of_float (100_000. *. scale))
+    ~kmax:(int_of_float (400_000. *. scale))
+    ~pmax:0.2
+
+let should_mark cfg rng ~queue_bytes =
+  if queue_bytes <= cfg.kmin then false
+  else if queue_bytes >= cfg.kmax then true
+  else
+    let span = float_of_int (cfg.kmax - cfg.kmin) in
+    let p = cfg.pmax *. (float_of_int (queue_bytes - cfg.kmin) /. span) in
+    Rng.float rng < p

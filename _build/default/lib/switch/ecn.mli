@@ -1,0 +1,15 @@
+(** WRED-style ECN marking at egress queues (the DCQCN signal source).
+
+    A data packet is marked CE with probability 0 below [kmin] queued
+    bytes, [pmax] at [kmax], linear in between, and 1 above [kmax]. *)
+
+type config = { kmin : int; kmax : int; pmax : float }
+
+val config : kmin:int -> kmax:int -> pmax:float -> config
+(** Validates [0 <= kmin <= kmax], [0 <= pmax <= 1]. *)
+
+val scaled_to : Rate.t -> config
+(** The conventional DCQCN operating point scaled linearly with link
+    bandwidth: 100 KB / 400 KB / 0.2 at 100 Gbps. *)
+
+val should_mark : config -> Rng.t -> queue_bytes:int -> bool

@@ -1,0 +1,75 @@
+type t = Ecmp | Random_spray | Adaptive | Psn_spray
+
+let all = [ Ecmp; Random_spray; Adaptive; Psn_spray ]
+
+let to_string = function
+  | Ecmp -> "ecmp"
+  | Random_spray -> "random-spray"
+  | Adaptive -> "adaptive"
+  | Psn_spray -> "psn-spray"
+
+let of_string = function
+  | "ecmp" -> Ok Ecmp
+  | "random-spray" | "spray" -> Ok Random_spray
+  | "adaptive" | "ar" -> Ok Adaptive
+  | "psn-spray" | "psn" -> Ok Psn_spray
+  | s -> Error (Printf.sprintf "unknown load-balancing policy %S" s)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let ecmp_index_at ~shift ~(pkt : Packet.t) ~n =
+  let h =
+    Ecmp_hash.flow_hash ~src:pkt.Packet.src_node ~dst:pkt.Packet.dst_node
+      ~sport:pkt.Packet.udp_sport ~dport:Headers.roce_dst_port
+  in
+  Ecmp_hash.path_of_hash_at ~shift ~hash:h ~paths:n
+
+let ecmp_index ~pkt ~n = ecmp_index_at ~shift:0 ~pkt ~n
+
+let least_loaded rng ~n ~load =
+  let best = ref max_int and count = ref 0 in
+  for i = 0 to n - 1 do
+    let l = load i in
+    if l < !best then begin
+      best := l;
+      count := 1
+    end
+    else if l = !best then incr count
+  done;
+  (* Reservoir-free uniform pick among the [!count] minima. *)
+  let pick = Rng.int rng !count in
+  let idx = ref 0 and seen = ref 0 and result = ref 0 in
+  while !idx < n do
+    if load !idx = !best then begin
+      if !seen = pick then begin
+        result := !idx;
+        idx := n
+      end
+      else begin
+        incr seen;
+        incr idx
+      end
+    end
+    else incr idx
+  done;
+  !result
+
+let choose_at ~shift t ~rng ~(pkt : Packet.t) ~n ~load =
+  if n <= 0 then invalid_arg "Lb_policy.choose: no candidates";
+  if n = 1 then 0
+  else
+    match (t, pkt.Packet.kind) with
+    | Ecmp, _
+    | (Random_spray | Adaptive | Psn_spray),
+      (Packet.Ack _ | Packet.Nack _ | Packet.Cnp | Packet.Pause _) ->
+        ecmp_index_at ~shift ~pkt ~n
+    | Random_spray, Packet.Data _ -> Rng.int rng n
+    | Adaptive, Packet.Data _ -> least_loaded rng ~n ~load
+    | Psn_spray, Packet.Data { psn; _ } ->
+        let base =
+          Spray.base_for_flow pkt.Packet.conn ~sport:pkt.Packet.udp_sport
+            ~paths:n
+        in
+        Spray.path_for_psn ~psn ~base ~paths:n
+
+let choose t ~rng ~pkt ~n ~load = choose_at ~shift:0 t ~rng ~pkt ~n ~load

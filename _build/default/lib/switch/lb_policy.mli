@@ -1,0 +1,35 @@
+(** Per-packet load-balancing policies for choosing among equal-cost
+    next hops.
+
+    Control packets (ACK / NACK / CNP / pause) always follow the flow's
+    ECMP path regardless of policy, keeping the reverse control channel
+    in order; only data packets are sprayed. *)
+
+type t =
+  | Ecmp  (** Flow-level hashing — the deployed default the paper indicts. *)
+  | Random_spray  (** Uniform per-packet choice (Dixit et al.). *)
+  | Adaptive
+      (** Per-packet least-loaded egress ("adaptive routing" baseline of
+          Section 5), ties broken uniformly. *)
+  | Psn_spray
+      (** Eq. 1 — the deterministic spraying Themis-S enforces.  Usable
+          standalone (for ablation) or through [Themis_s]. *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> (t, string) result
+val pp : Format.formatter -> t -> unit
+
+val ecmp_index : pkt:Packet.t -> n:int -> int
+(** The flow's ECMP choice among [n] candidates (hash of the packet's
+    addressing + entropy field). *)
+
+val choose : t -> rng:Rng.t -> pkt:Packet.t -> n:int -> load:(int -> int) -> int
+(** Pick a candidate index in [[0, n)].  [load i] is the queued byte count
+    of candidate [i] (used by [Adaptive]). *)
+
+val choose_at :
+  shift:int -> t -> rng:Rng.t -> pkt:Packet.t -> n:int -> load:(int -> int) -> int
+(** Like {!choose} but hashing with the tier's ECMP bit window (see
+    {!Ecmp_hash.path_of_hash_at}) — used by multi-tier fabrics where each
+    tier consumes a different slice of the header hash. *)

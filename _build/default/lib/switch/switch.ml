@@ -1,0 +1,238 @@
+type pfc_config = { xoff : int; xon : int }
+
+type config = {
+  lb : Lb_policy.t;
+  ecn : Ecn.config option;
+  buffer_capacity : int;
+  per_port_cap : int;
+  fwd_delay : Sim_time.t;
+  pfc : pfc_config option;
+  ecmp_shift : int;
+}
+
+let default_config ~bw lb =
+  {
+    lb;
+    ecn = Some (Ecn.scaled_to bw);
+    buffer_capacity = 64 * 1024 * 1024;
+    per_port_cap = 9 * 1024 * 1024;
+    fwd_delay = Sim_time.zero;
+    pfc = None;
+    ecmp_shift = 0;
+  }
+
+type t = {
+  engine : Engine.t;
+  topo : Topology.t;
+  routing : Routing.t;
+  node : int;
+  mutable cfg : config;
+  rng : Rng.t;
+  pool : Buffer_pool.t;
+  ports : (int, Port.t * int) Hashtbl.t;  (* link_id -> (port, peer) *)
+  mutable local_hosts : int list;
+  mutable themis_s : Themis_s.t option;
+  mutable themis_d : Themis_d.t option;
+  mutable upstream : Port.t list;
+  mutable pfc_paused : bool;
+  mutable rx_packets : int;
+  mutable forwarded : int;
+  mutable dropped_buffer : int;
+  mutable dropped_unreachable : int;
+  mutable ecn_marked : int;
+  mutable nacks_blocked : int;
+}
+
+let create ~engine ~topo ~routing ~node ~config ~rng =
+  {
+    engine;
+    topo;
+    routing;
+    node;
+    cfg = config;
+    rng;
+    pool =
+      Buffer_pool.create ~capacity:config.buffer_capacity
+        ~per_port_cap:config.per_port_cap;
+    ports = Hashtbl.create 8;
+    local_hosts = [];
+    themis_s = None;
+    themis_d = None;
+    upstream = [];
+    pfc_paused = false;
+    rx_packets = 0;
+    forwarded = 0;
+    dropped_buffer = 0;
+    dropped_unreachable = 0;
+    ecn_marked = 0;
+    nacks_blocked = 0;
+  }
+
+let node_id t = t.node
+let config t = t.cfg
+
+(* Defined below; PFC state must react to buffer release too. *)
+let rec pfc_update t =
+  match t.cfg.pfc with
+  | None -> ()
+  | Some { xoff; xon } ->
+      let used = Buffer_pool.used t.pool in
+      if (not t.pfc_paused) && used >= xoff then begin
+        t.pfc_paused <- true;
+        List.iter (fun p -> Port.set_paused p true) t.upstream
+      end
+      else if t.pfc_paused && used <= xon then begin
+        t.pfc_paused <- false;
+        List.iter (fun p -> Port.set_paused p false) t.upstream
+      end
+
+and attach_port t ~link_id ~peer port =
+  Hashtbl.replace t.ports link_id (port, peer);
+  let peer_is_host = Topology.is_host t.topo peer in
+  if peer_is_host then t.local_hosts <- peer :: t.local_hosts;
+  (* Release shared-buffer bytes as packets leave the queue; on the last
+     hop towards a locally attached receiver this is also the moment the
+     packet "leaves the ToR", when Themis-D records its PSN (and may emit
+     a compensation NACK). *)
+  Port.set_on_dequeue port (fun pkt ->
+      Buffer_pool.release t.pool pkt.Packet.size;
+      pfc_update t;
+      match t.themis_d with
+      | Some d
+        when peer_is_host && peer = pkt.Packet.dst_node && Packet.is_data pkt
+        ->
+          Themis_d.on_data d pkt
+      | Some _ | None -> ());
+  Port.set_on_discard port (fun pkt ->
+      Buffer_pool.release t.pool pkt.Packet.size;
+      pfc_update t)
+
+let set_themis t ~s ~d =
+  t.themis_s <- s;
+  t.themis_d <- d
+
+let themis_d t = t.themis_d
+let themis_s t = t.themis_s
+let set_lb t lb = t.cfg <- { t.cfg with lb }
+let set_upstream_ports t ports = t.upstream <- ports
+
+let port_to t ~peer =
+  match Topology.link_between t.topo t.node peer with
+  | None -> None
+  | Some link_id -> (
+      match Hashtbl.find_opt t.ports link_id with
+      | Some (port, _) -> Some port
+      | None -> None)
+
+let is_local_host t node = List.mem node t.local_hosts
+
+(* Candidate next hops towards the packet's destination, as an array of
+   (peer, link_id) sorted by peer id — a stable path indexing shared with
+   the PSN-spraying policy. *)
+let candidates t (pkt : Packet.t) =
+  Routing.next_hops t.routing ~node:t.node ~dst:pkt.Packet.dst_node
+
+let enqueue_on t port (pkt : Packet.t) =
+  if
+    Buffer_pool.try_admit t.pool ~port_bytes:(Port.queue_bytes port)
+      ~size:pkt.Packet.size
+  then begin
+    (match (t.cfg.ecn, pkt.Packet.kind) with
+    | Some ecn_cfg, Packet.Data _ ->
+        if
+          pkt.Packet.ecn = Headers.Ect
+          && Ecn.should_mark ecn_cfg t.rng ~queue_bytes:(Port.queue_bytes port)
+        then begin
+          pkt.Packet.ecn <- Headers.Ce;
+          t.ecn_marked <- t.ecn_marked + 1
+        end
+    | (Some _ | None), _ -> ());
+    t.forwarded <- t.forwarded + 1;
+    Port.enqueue port pkt;
+    pfc_update t
+  end
+  else begin
+    t.dropped_buffer <- t.dropped_buffer + 1;
+    if Trace.enabled () then
+      Trace.emitf ~time:(Engine.now t.engine) ~cat:"switch"
+        "node%d buffer-dropped %a" t.node Packet.pp pkt
+  end
+
+let forward t (pkt : Packet.t) =
+  let cands = candidates t pkt in
+  let n = Array.length cands in
+  if n = 0 then t.dropped_unreachable <- t.dropped_unreachable + 1
+  else begin
+    let idx =
+      if n = 1 then 0
+      else
+        (* Themis-S sprays data packets entering the fabric here, i.e.
+           packets whose sender is attached to this ToR. *)
+        let themis_choice =
+          match t.themis_s with
+          | Some s when is_local_host t pkt.Packet.src_node -> (
+              match Themis_s.mode s with
+              | Themis_s.Direct_egress -> (
+                  match Themis_s.egress_index s pkt with
+                  | Some path -> Some (path mod n)
+                  | None -> None)
+              | Themis_s.Sport_rewrite _ ->
+                  Themis_s.apply s pkt;
+                  None)
+          | Some _ | None -> None
+        in
+        match themis_choice with
+        | Some i -> i
+        | None ->
+            Lb_policy.choose_at ~shift:t.cfg.ecmp_shift t.cfg.lb ~rng:t.rng
+              ~pkt ~n ~load:(fun i ->
+                let _, link_id = (fst cands.(i), snd cands.(i)) in
+                match Hashtbl.find_opt t.ports link_id with
+                | Some (port, _) -> Port.queue_bytes port
+                | None -> max_int)
+    in
+    let _, link_id = cands.(idx) in
+    match Hashtbl.find_opt t.ports link_id with
+    | None -> t.dropped_unreachable <- t.dropped_unreachable + 1
+    | Some (port, _) -> enqueue_on t port pkt
+  end
+
+let process t (pkt : Packet.t) =
+  (* NACKs emitted by a locally attached receiver NIC are validated by
+     Themis-D before they may travel back to the sender. *)
+  let blocked =
+    match t.themis_d with
+    | Some d when Packet.is_nack pkt && is_local_host t pkt.Packet.src_node
+      -> (
+        match Themis_d.on_nack d pkt with
+        | Themis_d.Block ->
+            t.nacks_blocked <- t.nacks_blocked + 1;
+            if Trace.enabled () then
+              Trace.emitf ~time:(Engine.now t.engine) ~cat:"themis-d"
+                "tor%d blocked invalid %a" t.node Packet.pp pkt;
+            true
+        | Themis_d.Forward ->
+            if Trace.enabled () then
+              Trace.emitf ~time:(Engine.now t.engine) ~cat:"themis-d"
+                "tor%d forwarded %a" t.node Packet.pp pkt;
+            false)
+    | Some _ | None -> false
+  in
+  if not blocked then forward t pkt
+
+let receive t pkt =
+  t.rx_packets <- t.rx_packets + 1;
+  if t.cfg.fwd_delay = Sim_time.zero then process t pkt
+  else ignore (Engine.schedule t.engine ~delay:t.cfg.fwd_delay (fun () -> process t pkt))
+
+let inject t pkt =
+  if t.cfg.fwd_delay = Sim_time.zero then forward t pkt
+  else ignore (Engine.schedule t.engine ~delay:t.cfg.fwd_delay (fun () -> forward t pkt))
+
+let rx_packets t = t.rx_packets
+let forwarded_packets t = t.forwarded
+let dropped_buffer t = t.dropped_buffer
+let dropped_unreachable t = t.dropped_unreachable
+let ecn_marked t = t.ecn_marked
+let nacks_intercept_blocked t = t.nacks_blocked
+let buffer_pool t = t.pool

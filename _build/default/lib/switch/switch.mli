@@ -1,0 +1,85 @@
+(** The switch data plane.
+
+    An output-queued switch: a received packet is matched against the
+    routing table, one equal-cost next hop is chosen by the configured
+    load-balancing policy, the packet passes shared-buffer admission and
+    ECN marking, and is enqueued on the egress {!Port}.
+
+    ToR switches additionally host the Themis middleware:
+    - {!Themis_s.t} sprays data packets of locally attached senders
+      (direct egress choice in 2-tier fabrics, sport rewriting otherwise);
+    - {!Themis_d.t} observes data packets forwarded to locally attached
+      receivers and intercepts the NACKs those receivers emit, blocking
+      the invalid ones and injecting compensation NACKs.
+
+    Optional PFC: when the shared pool crosses [xoff] the switch pauses
+    the upstream ports feeding it (resuming at [xon]), modelling
+    priority-flow-control backpressure on a lossless fabric. *)
+
+type pfc_config = { xoff : int; xon : int }
+
+type config = {
+  lb : Lb_policy.t;
+  ecn : Ecn.config option;
+  buffer_capacity : int;  (** Shared pool, bytes. *)
+  per_port_cap : int;
+  fwd_delay : Sim_time.t;  (** Pipeline latency applied to every packet. *)
+  pfc : pfc_config option;
+  ecmp_shift : int;
+      (** Which bit window of the flow hash this switch's ECMP consumes —
+          0 for single-tier fabrics; distinct per tier in fat trees so a
+          single sport rewrite steers every hop. *)
+}
+
+val default_config : bw:Rate.t -> Lb_policy.t -> config
+(** 64 MB shared buffer ([Memory_model.tofino_sram_bytes]-class chip),
+    9 MB per-port cap, ECN scaled to [bw], no PFC, zero pipeline delay. *)
+
+type t
+
+val create :
+  engine:Engine.t ->
+  topo:Topology.t ->
+  routing:Routing.t ->
+  node:int ->
+  config:config ->
+  rng:Rng.t ->
+  t
+
+val node_id : t -> int
+val config : t -> config
+
+val attach_port : t -> link_id:int -> peer:int -> Port.t -> unit
+(** Register the egress port for one attached link (wiring phase). *)
+
+val set_themis : t -> s:Themis_s.t option -> d:Themis_d.t option -> unit
+val themis_d : t -> Themis_d.t option
+val themis_s : t -> Themis_s.t option
+
+val set_lb : t -> Lb_policy.t -> unit
+(** Live policy change — used by the link-failure fallback of Section 6
+    (Themis disabled, revert to ECMP). *)
+
+val set_upstream_ports : t -> Port.t list -> unit
+(** The far-end ports transmitting towards this switch; required only when
+    PFC is configured. *)
+
+val receive : t -> Packet.t -> unit
+(** A packet arriving from a link.  NACKs from locally attached receivers
+    pass through Themis-D here. *)
+
+val inject : t -> Packet.t -> unit
+(** Originate a packet at this switch (Themis-D compensation NACKs);
+    skips NACK interception but is otherwise forwarded normally. *)
+
+val port_to : t -> peer:int -> Port.t option
+
+(** Aggregate counters. *)
+
+val rx_packets : t -> int
+val forwarded_packets : t -> int
+val dropped_buffer : t -> int
+val dropped_unreachable : t -> int
+val ecn_marked : t -> int
+val nacks_intercept_blocked : t -> int
+val buffer_pool : t -> Buffer_pool.t

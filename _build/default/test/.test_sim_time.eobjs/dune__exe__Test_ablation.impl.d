@@ -1,0 +1,1 @@
+test/test_ablation.ml: Ablation Alcotest Sim_time

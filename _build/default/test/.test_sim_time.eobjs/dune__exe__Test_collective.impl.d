@@ -1,0 +1,1 @@
+test/test_collective.ml: Alcotest Engine Format List Runner Schedule Sim_time String

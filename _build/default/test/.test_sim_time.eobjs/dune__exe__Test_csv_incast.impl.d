@@ -1,0 +1,1 @@
+test/test_csv_incast.ml: Alcotest Csv_export Experiment Filename Network Sys

@@ -1,0 +1,1 @@
+test/test_csv_incast.mli:

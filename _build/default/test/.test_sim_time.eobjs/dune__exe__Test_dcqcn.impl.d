@@ -1,0 +1,1 @@
+test/test_dcqcn.ml: Alcotest Dcqcn Engine Rate Sim_time

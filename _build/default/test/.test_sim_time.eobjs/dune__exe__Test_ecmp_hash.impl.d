@@ -1,0 +1,1 @@
+test/test_ecmp_hash.ml: Alcotest Array Ecmp_hash QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ecmp_hash.mli:

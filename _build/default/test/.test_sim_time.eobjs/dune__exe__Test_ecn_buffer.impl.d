@@ -1,0 +1,1 @@
+test/test_ecn_buffer.ml: Alcotest Buffer_pool Ecn Gen List QCheck QCheck_alcotest Rate Rng

@@ -1,0 +1,1 @@
+test/test_event_queue.ml: Alcotest Event_queue Gen List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Experiment Leaf_spine List Network Rate Sim_time

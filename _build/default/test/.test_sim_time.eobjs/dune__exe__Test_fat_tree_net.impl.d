@@ -1,0 +1,1 @@
+test/test_fat_tree_net.ml: Alcotest Array Fat_tree Fat_tree_net Network Option Port Printf Rnic Sim_time Switch

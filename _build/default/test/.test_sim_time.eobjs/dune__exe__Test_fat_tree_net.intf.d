@@ -1,0 +1,1 @@
+test/test_fat_tree_net.mli:

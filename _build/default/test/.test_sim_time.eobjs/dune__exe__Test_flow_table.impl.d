@@ -1,0 +1,1 @@
+test/test_flow_table.ml: Alcotest Flow_id Flow_table Psn_queue

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Engine Flow_table Gen Lb_policy Leaf_spine List Network Option Port QCheck QCheck_alcotest Rnic Sim_time Stdlib Switch Themis_d Themis_s Topology Workload

@@ -1,0 +1,1 @@
+test/test_lb_policy.ml: Alcotest Array Flow_id Lb_policy List Packet Psn QCheck QCheck_alcotest Result Rng Spray

@@ -1,0 +1,1 @@
+test/test_memory_model.ml: Alcotest Format Memory_model Rate Sim_time String

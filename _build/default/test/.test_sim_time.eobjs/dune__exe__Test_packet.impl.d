@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Flow_id Format Headers Packet Psn String

@@ -1,0 +1,1 @@
+test/test_path_map.ml: Alcotest Array Ecmp_hash List Path_map Printf QCheck QCheck_alcotest

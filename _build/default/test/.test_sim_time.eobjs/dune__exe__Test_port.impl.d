@@ -1,0 +1,1 @@
+test/test_port.ml: Alcotest Engine Flow_id Fun Headers List Packet Port Psn Rate Rng

@@ -1,0 +1,1 @@
+test/test_psn.ml: Alcotest Psn QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_psn_queue.ml: Alcotest Gen List Psn Psn_queue QCheck QCheck_alcotest Rate Sim_time

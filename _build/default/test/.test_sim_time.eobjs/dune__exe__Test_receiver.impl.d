@@ -1,0 +1,1 @@
+test/test_receiver.ml: Alcotest Array Fun Gen List QCheck QCheck_alcotest Receiver Rng

@@ -1,0 +1,1 @@
+test/test_rnic.ml: Alcotest Dcqcn Engine Flow_id Headers List Packet Port Rate Rnic Sender Sim_time

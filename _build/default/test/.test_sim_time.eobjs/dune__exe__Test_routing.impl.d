@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Array Fat_tree Leaf_spine List Option Rate Routing Topology

@@ -1,0 +1,1 @@
+test/test_sender.ml: Alcotest Dcqcn Engine Flow_id Headers List Packet Psn Rate Sender Sim_time

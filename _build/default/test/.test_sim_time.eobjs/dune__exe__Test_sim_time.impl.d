@@ -1,0 +1,1 @@
+test/test_sim_time.ml: Alcotest Format QCheck QCheck_alcotest Rate Sim_time

@@ -1,0 +1,1 @@
+test/test_spray.ml: Alcotest Array Flow_id Psn QCheck QCheck_alcotest Spray

@@ -1,0 +1,1 @@
+test/test_switch.ml: Alcotest Array Buffer_pool Ecn Engine Flow_id Hashtbl Headers Lb_policy Leaf_spine List Option Packet Port Printf Psn Rate Rng Routing Sim_time Switch Themis_d Themis_s Topology

@@ -1,0 +1,1 @@
+test/test_themis_d.ml: Alcotest Flow_id Flow_table Format List Packet Psn Themis_d

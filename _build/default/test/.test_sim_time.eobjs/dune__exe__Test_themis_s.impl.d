@@ -1,0 +1,1 @@
+test/test_themis_s.ml: Alcotest Array Ecmp_hash Flow_id Headers Packet Path_map Printf Psn Themis_s

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array Fat_tree Format Leaf_spine Rate Sim_time String Topology

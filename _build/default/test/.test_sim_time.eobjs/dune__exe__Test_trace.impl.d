@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Leaf_spine List Network Rnic Sim_time String Trace Workload

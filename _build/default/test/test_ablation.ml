@@ -1,0 +1,93 @@
+(* The ablation harnesses: each mechanism's removal must show up the way
+   the design document claims. *)
+
+let test_compensation_matters () =
+  match Ablation.compensation ~drops:4 () with
+  | [ on; off ] ->
+      Alcotest.(check bool) "labels" true
+        (on.Ablation.comp_enabled && not off.Ablation.comp_enabled);
+      (* With compensation the blocked-then-lost packets are recovered by
+         generated NACKs, far faster than the RTO path. *)
+      Alcotest.(check bool) "compensation nacks generated" true
+        (on.Ablation.compensations > 0);
+      Alcotest.(check int) "no timeouts with compensation" 0 on.Ablation.timeouts;
+      Alcotest.(check bool) "timeouts without" true (off.Ablation.timeouts > 0);
+      Alcotest.(check bool) "faster with compensation" true
+        (on.Ablation.completion_us < off.Ablation.completion_us)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_queue_factor_sizing () =
+  let rows = Ablation.queue_factor ~factors:[ 0.25; 1.5 ] () in
+  match rows with
+  | [ tiny; sized ] ->
+      Alcotest.(check (float 1e-9)) "factors" 0.25 tiny.Ablation.factor;
+      (* A properly sized ring blocks far more invalid NACKs and yields
+         fewer spurious retransmissions than a truncated one. *)
+      Alcotest.(check bool) "sized blocks more" true
+        (sized.Ablation.blocked > tiny.Ablation.blocked);
+      Alcotest.(check bool) "sized retx not worse" true
+        (sized.Ablation.retx <= tiny.Ablation.retx);
+      Alcotest.(check bool) "sized not slower" true
+        (sized.Ablation.qf_completion_us <= tiny.Ablation.qf_completion_us +. 1.)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_transport_generations () =
+  match Ablation.transports () with
+  | [ gbn; sr; themis; ideal ] ->
+      (* The Section 2.2 story: GBN collapses, NIC-SR loses double-digit
+         percent, Themis recovers to the ideal's neighbourhood. *)
+      Alcotest.(check bool) "gbn worst" true
+        (gbn.Ablation.goodput_gbps < sr.Ablation.goodput_gbps);
+      Alcotest.(check bool) "sr below themis" true
+        (sr.Ablation.goodput_gbps < themis.Ablation.goodput_gbps);
+      Alcotest.(check bool) "themis near ideal" true
+        (themis.Ablation.goodput_gbps > ideal.Ablation.goodput_gbps *. 0.9);
+      Alcotest.(check (float 1e-9)) "themis clean" 0. themis.Ablation.retx_ratio;
+      Alcotest.(check int) "themis zero nacks" 0 themis.Ablation.nacks_to_sender;
+      Alcotest.(check bool) "gbn floods retx" true (gbn.Ablation.retx_ratio > 0.2)
+  | _ -> Alcotest.fail "expected four rows"
+
+let test_filtering_value () =
+  match Ablation.filtering () with
+  | [ bare; filtered ] ->
+      Alcotest.(check bool) "filtering improves goodput" true
+        (filtered.Ablation.goodput_gbps > bare.Ablation.goodput_gbps);
+      Alcotest.(check int) "filtered sends nothing" 0
+        filtered.Ablation.nacks_to_sender;
+      Alcotest.(check bool) "bare leaks nacks" true
+        (bare.Ablation.nacks_to_sender > 0)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_memory_model_validated () =
+  let m = Ablation.memory_footprint () in
+  Alcotest.(check int) "32 cross-rack QPs" 32 m.Ablation.qps;
+  (* The simulator allocates exactly what Eq. 4's flow-table term
+     predicts. *)
+  Alcotest.(check int) "measured = model" m.Ablation.model_bytes
+    m.Ablation.tor_flow_tables_bytes
+
+let test_jittered_queue_factor () =
+  (* With 5 us of last-hop RTT jitter, an F sized for the jitter-free
+     BDP is no longer enough: triggers age out of the ring and some
+     NACKs are misjudged, while a generous F keeps blocking cleanly. *)
+  match Ablation.queue_factor ~factors:[ 0.5; 8.0 ] ~jitter:(Sim_time.us 5) () with
+  | [ small; large ] ->
+      Alcotest.(check bool) "large F blocks at least as much" true
+        (large.Ablation.blocked >= small.Ablation.blocked);
+      Alcotest.(check bool) "large F no more retx" true
+        (large.Ablation.retx <= small.Ablation.retx)
+  | _ -> Alcotest.fail "expected two rows"
+
+let () =
+  Alcotest.run "ablation"
+    [
+      ( "ablations",
+        [
+          Alcotest.test_case "compensation" `Slow test_compensation_matters;
+          Alcotest.test_case "queue factor" `Slow test_queue_factor_sizing;
+          Alcotest.test_case "transports" `Slow test_transport_generations;
+          Alcotest.test_case "filtering" `Slow test_filtering_value;
+          Alcotest.test_case "memory model validated" `Slow test_memory_model_validated;
+          Alcotest.test_case "jittered queue factor" `Slow test_jittered_queue_factor;
+        ] );
+    ]

@@ -1,0 +1,198 @@
+(* Collective schedules and the barrier-stepped runner. *)
+
+let total = Schedule.total_bytes
+let steps = Schedule.steps
+let transfers = Schedule.transfers
+
+let test_chunk () =
+  Alcotest.(check int) "even" 250 (Schedule.chunk ~ranks:4 ~bytes:1000);
+  Alcotest.(check int) "ceil" 251 (Schedule.chunk ~ranks:4 ~bytes:1001);
+  Alcotest.(check int) "min 1" 1 (Schedule.chunk ~ranks:64 ~bytes:8)
+
+let test_ring_allreduce_shape () =
+  let s = Schedule.ring_allreduce ~ranks:8 ~bytes:8000 in
+  Alcotest.(check int) "2(n-1) steps" 14 (steps s);
+  Alcotest.(check int) "n transfers per step" (14 * 8) (transfers s);
+  (* Each step moves bytes/n per rank. *)
+  Alcotest.(check int) "total volume" (14 * 8 * 1000) (total s);
+  List.iter
+    (List.iter (fun { Schedule.src; dst; bytes } ->
+         Alcotest.(check int) "ring successor" ((src + 1) mod 8) dst;
+         Alcotest.(check int) "chunk" 1000 bytes))
+    s
+
+let test_reduce_scatter_allgather () =
+  let rs = Schedule.ring_reduce_scatter ~ranks:4 ~bytes:4000 in
+  let ag = Schedule.ring_allgather ~ranks:4 ~bytes:4000 in
+  Alcotest.(check int) "rs steps" 3 (steps rs);
+  Alcotest.(check int) "ag steps" 3 (steps ag);
+  Alcotest.(check int) "rs volume" (3 * 4 * 1000) (total rs);
+  (* Allreduce = reduce-scatter then allgather. *)
+  let ar = Schedule.ring_allreduce ~ranks:4 ~bytes:4000 in
+  Alcotest.(check int) "composition" (total rs + total ag) (total ar)
+
+let test_alltoall_shape () =
+  let s = Schedule.alltoall ~ranks:4 ~bytes:4000 in
+  Alcotest.(check int) "single step" 1 (steps s);
+  Alcotest.(check int) "n(n-1) transfers" 12 (transfers s);
+  Alcotest.(check int) "volume" (12 * 1000) (total s);
+  List.iter
+    (List.iter (fun { Schedule.src; dst; _ } ->
+         Alcotest.(check bool) "no self-send" true (src <> dst)))
+    s
+
+let test_halving_doubling () =
+  let s = Schedule.halving_doubling_allreduce ~ranks:8 ~bytes:8000 in
+  Alcotest.(check int) "2 log n steps" 6 (steps s);
+  (* Step volumes: halving phase 4000, 2000, 1000 per rank; doubling
+     mirrors it. *)
+  let per_step = List.map (fun step -> (List.hd step).Schedule.bytes) s in
+  Alcotest.(check (list int)) "volumes"
+    [ 4000; 2000; 1000; 1000; 2000; 4000 ]
+    per_step;
+  (* Every step pairs each rank with its XOR partner (an involution). *)
+  List.iter
+    (List.iter (fun { Schedule.src; dst; _ } ->
+         Alcotest.(check bool) "pairwise" true (src <> dst)))
+    s;
+  List.iteri
+    (fun i step ->
+      let d = if i < 3 then 1 lsl i else 1 lsl (5 - i) in
+      List.iter
+        (fun { Schedule.src; dst; _ } ->
+          Alcotest.(check int) "xor partner" (src lxor d) dst)
+        step)
+    s;
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Schedule.halving_doubling_allreduce: ranks must be a power of two")
+    (fun () -> ignore (Schedule.halving_doubling_allreduce ~ranks:6 ~bytes:600))
+
+let test_broadcast () =
+  let s = Schedule.broadcast ~ranks:8 ~root:0 ~bytes:100 in
+  Alcotest.(check int) "log n steps" 3 (steps s);
+  (* 1 + 2 + 4 transfers: every non-root rank receives exactly once. *)
+  Alcotest.(check int) "n-1 transfers" 7 (transfers s);
+  let receivers =
+    List.concat_map (List.map (fun t -> t.Schedule.dst)) s
+  in
+  Alcotest.(check (list int)) "each rank once"
+    [ 1; 2; 3; 4; 5; 6; 7 ]
+    (List.sort compare receivers);
+  (* A sender must already hold the data (root or earlier receiver). *)
+  let held = ref [ 0 ] in
+  List.iter
+    (fun step ->
+      List.iter
+        (fun { Schedule.src; _ } ->
+          Alcotest.(check bool) "sender holds data" true (List.mem src !held))
+        step;
+      List.iter (fun { Schedule.dst; _ } -> held := dst :: !held) step)
+    s;
+  (* Non-zero root rotates the tree. *)
+  let s5 = Schedule.broadcast ~ranks:4 ~root:2 ~bytes:10 in
+  match List.concat s5 with
+  | first :: _ -> Alcotest.(check int) "root sends first" 2 first.Schedule.src
+  | [] -> Alcotest.fail "empty broadcast"
+
+let test_ring_once () =
+  let s = Schedule.ring_once ~ranks:8 ~bytes:100 in
+  Alcotest.(check int) "one step" 1 (steps s);
+  Alcotest.(check int) "full bytes per rank" (8 * 100) (total s)
+
+let test_invalid () =
+  Alcotest.check_raises "one rank" (Invalid_argument "Schedule: need at least 2 ranks")
+    (fun () -> ignore (Schedule.ring_allreduce ~ranks:1 ~bytes:100));
+  Alcotest.check_raises "zero bytes"
+    (Invalid_argument "Schedule: bytes must be positive") (fun () ->
+      ignore (Schedule.alltoall ~ranks:4 ~bytes:0))
+
+let test_pp () =
+  let s = Schedule.alltoall ~ranks:4 ~bytes:4000 in
+  let str = Format.asprintf "%a" Schedule.pp_summary s in
+  Alcotest.(check bool) "renders" true (String.length str > 5)
+
+(* Runner semantics over a synthetic transport driven by an engine. *)
+
+let test_runner_barrier () =
+  let engine = Engine.create () in
+  let launched = ref [] in
+  (* Transfers complete after a delay proportional to (1 + dst); the
+     barrier means step 2 launches only after the slowest of step 1. *)
+  let post ~src ~dst ~bytes:_ ~on_complete =
+    launched := (Engine.now engine, src, dst) :: !launched;
+    ignore
+      (Engine.schedule engine
+         ~delay:(Sim_time.us (1 + dst))
+         (fun () -> on_complete (Engine.now engine)))
+  in
+  let schedule = Schedule.ring_allreduce ~ranks:3 ~bytes:300 in
+  let completion = ref None in
+  let r =
+    Runner.start ~schedule ~post ~on_complete:(fun t -> completion := Some t)
+  in
+  Alcotest.(check int) "first step launched immediately" 3
+    (List.length !launched);
+  Alcotest.(check int) "step index 0" 0 (Runner.current_step r);
+  Engine.run engine;
+  Alcotest.(check bool) "finished" true (Runner.finished r);
+  Alcotest.(check int) "all steps ran" (3 * 4) (List.length !launched);
+  (* Slowest transfer per step takes 3 us (dst = 2): four steps. *)
+  Alcotest.(check (option int)) "completion time" (Some (Sim_time.us 12))
+    !completion;
+  Alcotest.(check (option int)) "recorded" (Some (Sim_time.us 12))
+    (Runner.completion_time r);
+  Alcotest.(check int) "final step index" 4 (Runner.current_step r);
+  (* Steps never overlap: every step-k launch happens after every step
+     k-1 completion. *)
+  let by_time = List.sort compare (List.rev_map (fun (t, _, _) -> t) !launched) in
+  let rec batches = function
+    | a :: b :: rest ->
+        Alcotest.(check bool) "monotone" true (a <= b);
+        batches (b :: rest)
+    | _ -> ()
+  in
+  batches by_time
+
+let test_runner_immediate_completion () =
+  (* A post that completes synchronously must still walk every step. *)
+  let count = ref 0 in
+  let post ~src:_ ~dst:_ ~bytes:_ ~on_complete =
+    incr count;
+    on_complete 0
+  in
+  let schedule = Schedule.ring_allreduce ~ranks:4 ~bytes:400 in
+  let completion = ref None in
+  let r = Runner.start ~schedule ~post ~on_complete:(fun t -> completion := Some t) in
+  Alcotest.(check bool) "finished" true (Runner.finished r);
+  Alcotest.(check int) "all transfers posted" (6 * 4) !count;
+  Alcotest.(check (option int)) "completed at 0" (Some 0) !completion
+
+let test_runner_rejects_empty () =
+  let post ~src:_ ~dst:_ ~bytes:_ ~on_complete:_ = () in
+  Alcotest.check_raises "empty" (Invalid_argument "Runner.start: empty schedule")
+    (fun () -> ignore (Runner.start ~schedule:[] ~post ~on_complete:ignore));
+  Alcotest.check_raises "empty step" (Invalid_argument "Runner.start: empty step")
+    (fun () -> ignore (Runner.start ~schedule:[ [] ] ~post ~on_complete:ignore))
+
+let () =
+  Alcotest.run "collective"
+    [
+      ( "schedules",
+        [
+          Alcotest.test_case "chunk" `Quick test_chunk;
+          Alcotest.test_case "allreduce" `Quick test_ring_allreduce_shape;
+          Alcotest.test_case "rs/ag" `Quick test_reduce_scatter_allgather;
+          Alcotest.test_case "alltoall" `Quick test_alltoall_shape;
+          Alcotest.test_case "halving-doubling" `Quick test_halving_doubling;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "ring once" `Quick test_ring_once;
+          Alcotest.test_case "invalid" `Quick test_invalid;
+          Alcotest.test_case "pp" `Quick test_pp;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "barrier" `Quick test_runner_barrier;
+          Alcotest.test_case "immediate" `Quick test_runner_immediate_completion;
+          Alcotest.test_case "rejects empty" `Quick test_runner_rejects_empty;
+        ] );
+    ]

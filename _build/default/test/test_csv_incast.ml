@@ -1,0 +1,95 @@
+(* CSV export and the incast experiment. *)
+
+let test_series () =
+  let s =
+    Csv_export.series_to_string
+      ~header:("time_us", "ratio")
+      [ (0., 0.5); (20., 0.25) ]
+  in
+  Alcotest.(check string) "rendered" "time_us,ratio\n0,0.5\n20,0.25\n" s
+
+let test_quoting () =
+  let s =
+    Csv_export.table_to_string ~columns:[ "a,b"; "c\"d" ] [ [ 1.; 2. ] ]
+  in
+  Alcotest.(check string) "quoted" "\"a,b\",\"c\"\"d\"\n1,2\n" s
+
+let test_table_mismatch () =
+  Alcotest.check_raises "width"
+    (Invalid_argument "Csv_export.table_to_string: row width mismatch")
+    (fun () ->
+      ignore (Csv_export.table_to_string ~columns:[ "a"; "b" ] [ [ 1. ] ]))
+
+let test_fig5_matrix () =
+  let s =
+    Csv_export.fig5_to_string
+      ~sweep:[ (900., 4.); (10., 50.) ]
+      ~rows:[ ("ecmp", [ 1.5; 0.5 ]); ("themis", [ 0.3; 0.3 ]) ]
+  in
+  Alcotest.(check string) "matrix"
+    "scheme,TI900_TD4,TI10_TD50\necmp,1.5,0.5\nthemis,0.3,0.3\n" s
+
+let test_write_roundtrip () =
+  let path = Filename.temp_file "themis" ".csv" in
+  Csv_export.write_series ~path ~header:("x", "y") [ (1., 2.) ];
+  let ic = open_in path in
+  let line1 = input_line ic in
+  let line2 = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "x,y" line1;
+  Alcotest.(check string) "row" "1,2" line2
+
+let test_incast_runs () =
+  let r =
+    Experiment.run_incast
+      {
+        (Experiment.default_incast ~scheme:Network.Ecmp) with
+        Experiment.incast_bytes = 300_000;
+      }
+  in
+  Alcotest.(check bool) "p99 >= p50" true (r.Experiment.fct_p99_us >= r.Experiment.fct_p50_us);
+  Alcotest.(check bool) "mean positive" true (r.Experiment.fct_mean_us > 0.);
+  (* 8 x 300 kB into one 100 Gbps link needs at least ~190 us. *)
+  Alcotest.(check bool) "bottleneck respected" true (r.Experiment.fct_p99_us > 150.)
+
+let test_incast_themis_not_worse () =
+  (* Incast has no multipath advantage (single receiver link), but Themis
+     must not make it worse than ECMP by more than noise. *)
+  let run scheme =
+    (Experiment.run_incast
+       {
+         (Experiment.default_incast ~scheme) with
+         Experiment.incast_bytes = 300_000;
+       })
+      .Experiment.fct_p99_us
+  in
+  let ecmp = run Network.Ecmp in
+  let themis = run (Network.Themis { compensation = true }) in
+  Alcotest.(check bool) "comparable" true (themis < ecmp *. 1.15)
+
+let test_incast_invalid () =
+  Alcotest.check_raises "fanin" (Invalid_argument "Experiment.run_incast: fanin")
+    (fun () ->
+      ignore
+        (Experiment.run_incast
+           { (Experiment.default_incast ~scheme:Network.Ecmp) with Experiment.fanin = 0 }))
+
+let () =
+  Alcotest.run "csv_incast"
+    [
+      ( "csv",
+        [
+          Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "quoting" `Quick test_quoting;
+          Alcotest.test_case "table mismatch" `Quick test_table_mismatch;
+          Alcotest.test_case "fig5 matrix" `Quick test_fig5_matrix;
+          Alcotest.test_case "write roundtrip" `Quick test_write_roundtrip;
+        ] );
+      ( "incast",
+        [
+          Alcotest.test_case "runs" `Slow test_incast_runs;
+          Alcotest.test_case "themis not worse" `Slow test_incast_themis_not_worse;
+          Alcotest.test_case "invalid" `Quick test_incast_invalid;
+        ] );
+    ]

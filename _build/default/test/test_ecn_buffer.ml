@@ -1,0 +1,103 @@
+(* WRED/ECN marking and shared-buffer admission. *)
+
+let test_ecn_thresholds () =
+  let cfg = Ecn.config ~kmin:1000 ~kmax:2000 ~pmax:0.5 in
+  let rng = Rng.create ~seed:1 in
+  Alcotest.(check bool) "below kmin" false
+    (Ecn.should_mark cfg rng ~queue_bytes:999);
+  Alcotest.(check bool) "at kmin" false (Ecn.should_mark cfg rng ~queue_bytes:1000);
+  Alcotest.(check bool) "above kmax" true
+    (Ecn.should_mark cfg rng ~queue_bytes:2000);
+  Alcotest.(check bool) "way above" true
+    (Ecn.should_mark cfg rng ~queue_bytes:1_000_000)
+
+let test_ecn_probability_ramp () =
+  let cfg = Ecn.config ~kmin:0 ~kmax:10_000 ~pmax:1.0 in
+  let count q =
+    let rng = Rng.create ~seed:7 in
+    let marks = ref 0 in
+    for _ = 1 to 10_000 do
+      if Ecn.should_mark cfg rng ~queue_bytes:q then incr marks
+    done;
+    !marks
+  in
+  let low = count 2_500 and high = count 7_500 in
+  Alcotest.(check bool) "ramp monotone" true (low < high);
+  Alcotest.(check bool) "low near 25%" true (low > 1_500 && low < 3_500);
+  Alcotest.(check bool) "high near 75%" true (high > 6_500 && high < 8_500)
+
+let test_ecn_invalid () =
+  Alcotest.check_raises "kmax < kmin"
+    (Invalid_argument "Ecn.config: need 0 <= kmin <= kmax") (fun () ->
+      ignore (Ecn.config ~kmin:10 ~kmax:5 ~pmax:0.1));
+  Alcotest.check_raises "pmax > 1"
+    (Invalid_argument "Ecn.config: pmax must be in [0,1]") (fun () ->
+      ignore (Ecn.config ~kmin:1 ~kmax:5 ~pmax:1.5))
+
+let test_ecn_scaled () =
+  let cfg100 = Ecn.scaled_to (Rate.gbps 100.) in
+  let cfg400 = Ecn.scaled_to (Rate.gbps 400.) in
+  Alcotest.(check int) "100G kmin" 100_000 cfg100.Ecn.kmin;
+  Alcotest.(check int) "400G kmin" 400_000 cfg400.Ecn.kmin;
+  Alcotest.(check int) "400G kmax" 1_600_000 cfg400.Ecn.kmax
+
+let test_pool_admission () =
+  let pool = Buffer_pool.create ~capacity:10_000 ~per_port_cap:4_000 in
+  Alcotest.(check bool) "admit" true
+    (Buffer_pool.try_admit pool ~port_bytes:0 ~size:3_000);
+  Alcotest.(check int) "used" 3_000 (Buffer_pool.used pool);
+  (* Per-port cap binds even when the pool has room. *)
+  Alcotest.(check bool) "port cap" false
+    (Buffer_pool.try_admit pool ~port_bytes:3_000 ~size:1_500);
+  Alcotest.(check int) "rejected does not reserve" 3_000 (Buffer_pool.used pool);
+  (* Pool capacity binds across ports. *)
+  Alcotest.(check bool) "fill" true
+    (Buffer_pool.try_admit pool ~port_bytes:0 ~size:4_000);
+  Alcotest.(check bool) "fill2" true
+    (Buffer_pool.try_admit pool ~port_bytes:0 ~size:3_000);
+  Alcotest.(check bool) "full" false
+    (Buffer_pool.try_admit pool ~port_bytes:0 ~size:1);
+  Alcotest.(check int) "high watermark" 10_000 (Buffer_pool.high_watermark pool)
+
+let test_pool_release () =
+  let pool = Buffer_pool.create ~capacity:1_000 ~per_port_cap:1_000 in
+  Alcotest.(check bool) "admit" true
+    (Buffer_pool.try_admit pool ~port_bytes:0 ~size:1_000);
+  Buffer_pool.release pool 400;
+  Alcotest.(check int) "partial release" 600 (Buffer_pool.used pool);
+  Buffer_pool.release pool 10_000;
+  Alcotest.(check int) "clamped at zero" 0 (Buffer_pool.used pool)
+
+let test_pool_invalid () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Buffer_pool.create: capacities must be positive")
+    (fun () -> ignore (Buffer_pool.create ~capacity:0 ~per_port_cap:1))
+
+let prop_admission_never_exceeds =
+  QCheck.Test.make ~name:"pool usage never exceeds capacity" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 100) (int_range 1 500))
+    (fun sizes ->
+      let pool = Buffer_pool.create ~capacity:5_000 ~per_port_cap:5_000 in
+      List.iter
+        (fun s -> ignore (Buffer_pool.try_admit pool ~port_bytes:0 ~size:s))
+        sizes;
+      Buffer_pool.used pool <= Buffer_pool.capacity pool)
+
+let () =
+  Alcotest.run "ecn_buffer"
+    [
+      ( "ecn",
+        [
+          Alcotest.test_case "thresholds" `Quick test_ecn_thresholds;
+          Alcotest.test_case "probability ramp" `Quick test_ecn_probability_ramp;
+          Alcotest.test_case "invalid" `Quick test_ecn_invalid;
+          Alcotest.test_case "scaled" `Quick test_ecn_scaled;
+        ] );
+      ( "buffer pool",
+        [
+          Alcotest.test_case "admission" `Quick test_pool_admission;
+          Alcotest.test_case "release" `Quick test_pool_release;
+          Alcotest.test_case "invalid" `Quick test_pool_invalid;
+          QCheck_alcotest.to_alcotest prop_admission_never_exceeds;
+        ] );
+    ]

@@ -1,0 +1,132 @@
+(* The discrete-event driver: ordering, cancellation, horizons. *)
+
+let test_order () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  let note tag () = log := (tag, Engine.now eng) :: !log in
+  ignore (Engine.schedule eng ~delay:30 (note "c"));
+  ignore (Engine.schedule eng ~delay:10 (note "a"));
+  ignore (Engine.schedule eng ~delay:20 (note "b"));
+  Engine.run eng;
+  Alcotest.(check (list (pair string int)))
+    "execution order"
+    [ ("a", 10); ("b", 20); ("c", 30) ]
+    (List.rev !log)
+
+let test_nested_schedule () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  ignore
+    (Engine.schedule eng ~delay:10 (fun () ->
+         fired := "outer" :: !fired;
+         ignore
+           (Engine.schedule eng ~delay:5 (fun () ->
+                fired := "inner" :: !fired))));
+  Engine.run eng;
+  Alcotest.(check (list string)) "nested" [ "inner"; "outer" ] !fired;
+  Alcotest.(check int) "clock at last event" 15 (Engine.now eng)
+
+let test_same_time_fifo () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    ignore (Engine.schedule eng ~delay:5 (fun () -> log := i :: !log))
+  done;
+  Engine.run eng;
+  Alcotest.(check (list int)) "fifo" (List.init 10 Fun.id) (List.rev !log)
+
+let test_cancel () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule eng ~delay:10 (fun () -> fired := true) in
+  Alcotest.(check bool) "pending" true (Engine.is_pending h);
+  Engine.cancel h;
+  Alcotest.(check bool) "not pending" false (Engine.is_pending h);
+  Engine.run eng;
+  Alcotest.(check bool) "did not fire" false !fired;
+  (* Double cancel is harmless. *)
+  Engine.cancel h
+
+let test_horizon () =
+  let eng = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule eng ~delay:10 (fun () -> fired := 10 :: !fired));
+  ignore (Engine.schedule eng ~delay:30 (fun () -> fired := 30 :: !fired));
+  Engine.run eng ~until:20;
+  Alcotest.(check (list int)) "only first fired" [ 10 ] !fired;
+  Alcotest.(check int) "clock at horizon" 20 (Engine.now eng);
+  Alcotest.(check int) "one pending" 1 (Engine.pending eng);
+  Engine.run eng;
+  Alcotest.(check (list int)) "second fires later" [ 30; 10 ] !fired
+
+let test_horizon_inclusive () =
+  let eng = Engine.create () in
+  let fired = ref false in
+  ignore (Engine.schedule eng ~delay:20 (fun () -> fired := true));
+  Engine.run eng ~until:20;
+  Alcotest.(check bool) "event at horizon fires" true !fired
+
+let test_max_events () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore (Engine.schedule eng ~delay:1 (fun () -> incr count))
+  done;
+  Engine.run eng ~max_events:3;
+  Alcotest.(check int) "budget respected" 3 !count
+
+let test_stop () =
+  let eng = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore
+      (Engine.schedule eng ~delay:1 (fun () ->
+           incr count;
+           if !count = 2 then Engine.stop eng))
+  done;
+  Engine.run eng;
+  Alcotest.(check int) "stopped after request" 2 !count
+
+let test_past_rejected () =
+  let eng = Engine.create () in
+  ignore (Engine.schedule eng ~delay:10 (fun () -> ()));
+  Engine.run eng;
+  Alcotest.check_raises "past time" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> ignore (Engine.schedule eng ~delay:(-1) (fun () -> ())))
+
+let test_events_processed () =
+  let eng = Engine.create () in
+  for _ = 1 to 5 do
+    ignore (Engine.schedule eng ~delay:1 (fun () -> ()))
+  done;
+  let h = Engine.schedule eng ~delay:1 (fun () -> ()) in
+  Engine.cancel h;
+  Engine.run eng;
+  Alcotest.(check int) "cancelled not counted" 5 (Engine.events_processed eng)
+
+let test_idle_horizon_advances_clock () =
+  let eng = Engine.create () in
+  Engine.run eng ~until:100;
+  Alcotest.(check int) "clock moves to horizon" 100 (Engine.now eng)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "scheduling",
+        [
+          Alcotest.test_case "order" `Quick test_order;
+          Alcotest.test_case "nested" `Quick test_nested_schedule;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+        ] );
+      ( "run control",
+        [
+          Alcotest.test_case "horizon" `Quick test_horizon;
+          Alcotest.test_case "horizon inclusive" `Quick test_horizon_inclusive;
+          Alcotest.test_case "max_events" `Quick test_max_events;
+          Alcotest.test_case "stop" `Quick test_stop;
+          Alcotest.test_case "negative delay" `Quick test_past_rejected;
+          Alcotest.test_case "events_processed" `Quick test_events_processed;
+          Alcotest.test_case "idle horizon" `Quick test_idle_horizon_advances_clock;
+        ] );
+    ]

@@ -1,0 +1,91 @@
+(* The binary-heap event queue: ordering, stability, growth. *)
+
+let test_empty () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Alcotest.(check int) "size" 0 (Event_queue.size q);
+  Alcotest.(check bool) "pop none" true (Event_queue.pop q = None);
+  Alcotest.(check bool) "peek none" true (Event_queue.peek_time q = None)
+
+let test_ordering () =
+  let q = Event_queue.create () in
+  List.iter (fun t -> Event_queue.add q ~time:t t) [ 5; 1; 9; 3; 7 ];
+  let order = List.init 5 (fun _ -> fst (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 7; 9 ] order
+
+let test_stability () =
+  (* Same-time events pop in insertion order. *)
+  let q = Event_queue.create () in
+  List.iter (fun v -> Event_queue.add q ~time:10 v) [ 1; 2; 3; 4; 5 ];
+  Event_queue.add q ~time:5 0;
+  let order = List.init 6 (fun _ -> snd (Option.get (Event_queue.pop q))) in
+  Alcotest.(check (list int)) "fifo within time" [ 0; 1; 2; 3; 4; 5 ] order
+
+let test_interleaved () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:3 "a";
+  Alcotest.(check bool) "peek 3" true (Event_queue.peek_time q = Some 3);
+  Event_queue.add q ~time:1 "b";
+  Alcotest.(check bool) "peek 1" true (Event_queue.peek_time q = Some 1);
+  Alcotest.(check bool) "pop b" true (Event_queue.pop q = Some (1, "b"));
+  Event_queue.add q ~time:2 "c";
+  Alcotest.(check bool) "pop c" true (Event_queue.pop q = Some (2, "c"));
+  Alcotest.(check bool) "pop a" true (Event_queue.pop q = Some (3, "a"))
+
+let test_growth () =
+  let q = Event_queue.create () in
+  for i = 1000 downto 1 do
+    Event_queue.add q ~time:i i
+  done;
+  Alcotest.(check int) "size" 1000 (Event_queue.size q);
+  for i = 1 to 1000 do
+    match Event_queue.pop q with
+    | Some (t, v) ->
+        Alcotest.(check int) "time" i t;
+        Alcotest.(check int) "value" i v
+    | None -> Alcotest.fail "queue drained early"
+  done
+
+let test_clear () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:1 1;
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"pop order equals stable sort" ~count:100
+    QCheck.(list_of_size (Gen.int_range 0 200) (int_range 0 50))
+    (fun times ->
+      let q = Event_queue.create () in
+      List.iteri (fun i t -> Event_queue.add q ~time:t (t, i)) times;
+      let popped = ref [] in
+      let rec drain () =
+        match Event_queue.pop q with
+        | Some (_, v) ->
+            popped := v :: !popped;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      let got = List.rev !popped in
+      let expected =
+        List.stable_sort
+          (fun (t1, _) (t2, _) -> compare t1 t2)
+          (List.mapi (fun i t -> (t, i)) times)
+      in
+      got = expected)
+
+let () =
+  Alcotest.run "event_queue"
+    [
+      ( "heap",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "ordering" `Quick test_ordering;
+          Alcotest.test_case "stability" `Quick test_stability;
+          Alcotest.test_case "interleaved" `Quick test_interleaved;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "clear" `Quick test_clear;
+          QCheck_alcotest.to_alcotest prop_heap_sorts;
+        ] );
+    ]

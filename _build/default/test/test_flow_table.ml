@@ -1,0 +1,57 @@
+(* The destination-ToR flow table. *)
+
+let conn n = Flow_id.make ~src:1 ~dst:2 ~qpn:n
+
+let test_find_or_add () =
+  let t = Flow_table.create ~queue_capacity:16 in
+  Alcotest.(check int) "empty" 0 (Flow_table.size t);
+  let e1 = Flow_table.find_or_add t (conn 1) in
+  let e1' = Flow_table.find_or_add t (conn 1) in
+  Alcotest.(check bool) "same entry" true (e1 == e1');
+  Alcotest.(check int) "one entry" 1 (Flow_table.size t);
+  Alcotest.(check bool) "fresh invalid" false e1.Flow_table.valid;
+  Alcotest.(check int) "queue capacity" 16 (Psn_queue.capacity e1.Flow_table.queue)
+
+let test_find_remove () =
+  let t = Flow_table.create ~queue_capacity:4 in
+  ignore (Flow_table.find_or_add t (conn 1));
+  Alcotest.(check bool) "found" true (Flow_table.find t (conn 1) <> None);
+  Alcotest.(check bool) "absent" true (Flow_table.find t (conn 2) = None);
+  Flow_table.remove t (conn 1);
+  Alcotest.(check bool) "removed" true (Flow_table.find t (conn 1) = None)
+
+let test_iter () =
+  let t = Flow_table.create ~queue_capacity:4 in
+  for i = 1 to 5 do
+    ignore (Flow_table.find_or_add t (conn i))
+  done;
+  let count = ref 0 in
+  Flow_table.iter (fun _ _ -> incr count) t;
+  Alcotest.(check int) "iterated" 5 !count
+
+let test_memory () =
+  Alcotest.(check int) "entry bytes (Section 4)" 20 Flow_table.entry_bytes;
+  let t = Flow_table.create ~queue_capacity:100 in
+  for i = 1 to 3 do
+    ignore (Flow_table.find_or_add t (conn i))
+  done;
+  (* 3 entries x (20 + 100 x 1 byte). *)
+  Alcotest.(check int) "memory" (3 * 120) (Flow_table.memory_bytes t)
+
+let test_invalid () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Flow_table.create: queue_capacity") (fun () ->
+      ignore (Flow_table.create ~queue_capacity:0))
+
+let () =
+  Alcotest.run "flow_table"
+    [
+      ( "table",
+        [
+          Alcotest.test_case "find_or_add" `Quick test_find_or_add;
+          Alcotest.test_case "find/remove" `Quick test_find_remove;
+          Alcotest.test_case "iter" `Quick test_iter;
+          Alcotest.test_case "memory" `Quick test_memory;
+          Alcotest.test_case "invalid" `Quick test_invalid;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Load-balancing policies. *)
+
+let conn = Flow_id.make ~src:3 ~dst:4 ~qpn:2
+
+let data psn =
+  Packet.data ~conn ~sport:777 ~psn:(Psn.of_int psn) ~payload:1000
+    ~last_of_msg:false ~birth:0 ()
+
+let ack () = Packet.ack ~conn ~sport:777 ~psn:Psn.zero ~birth:0
+let no_load _ = 0
+
+let test_strings () =
+  List.iter
+    (fun p ->
+      match Lb_policy.of_string (Lb_policy.to_string p) with
+      | Ok p' -> Alcotest.(check bool) "roundtrip" true (p = p')
+      | Error e -> Alcotest.fail e)
+    Lb_policy.all;
+  Alcotest.(check bool) "unknown" true
+    (Result.is_error (Lb_policy.of_string "bogus"))
+
+let test_ecmp_stable () =
+  let rng = Rng.create ~seed:1 in
+  let first =
+    Lb_policy.choose Lb_policy.Ecmp ~rng ~pkt:(data 0) ~n:8 ~load:no_load
+  in
+  for psn = 1 to 50 do
+    Alcotest.(check int) "same path for all psns" first
+      (Lb_policy.choose Lb_policy.Ecmp ~rng ~pkt:(data psn) ~n:8 ~load:no_load)
+  done
+
+let test_ecmp_matches_index () =
+  let rng = Rng.create ~seed:1 in
+  Alcotest.(check int) "ecmp_index agrees"
+    (Lb_policy.ecmp_index ~pkt:(data 0) ~n:8)
+    (Lb_policy.choose Lb_policy.Ecmp ~rng ~pkt:(data 0) ~n:8 ~load:no_load)
+
+let test_random_spray_spread () =
+  let rng = Rng.create ~seed:2 in
+  let counts = Array.make 4 0 in
+  for psn = 0 to 3999 do
+    let i =
+      Lb_policy.choose Lb_policy.Random_spray ~rng ~pkt:(data psn) ~n:4
+        ~load:no_load
+    in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true (c > 800 && c < 1200))
+    counts
+
+let test_adaptive_picks_min () =
+  let rng = Rng.create ~seed:3 in
+  let load i = [| 500; 100; 900; 300 |].(i) in
+  Alcotest.(check int) "min queue" 1
+    (Lb_policy.choose Lb_policy.Adaptive ~rng ~pkt:(data 0) ~n:4 ~load)
+
+let test_adaptive_tie_break_uniform () =
+  let rng = Rng.create ~seed:4 in
+  let load _ = 0 in
+  let counts = Array.make 4 0 in
+  for psn = 0 to 3999 do
+    let i = Lb_policy.choose Lb_policy.Adaptive ~rng ~pkt:(data psn) ~n:4 ~load in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iter
+    (fun c -> Alcotest.(check bool) "ties spread" true (c > 800 && c < 1200))
+    counts
+
+let test_psn_spray_eq1 () =
+  let rng = Rng.create ~seed:5 in
+  let n = 4 in
+  let base =
+    Spray.base_for_flow conn ~sport:777 ~paths:n
+  in
+  for psn = 0 to 63 do
+    Alcotest.(check int) "Eq. 1"
+      (((psn mod n) + base) mod n)
+      (Lb_policy.choose Lb_policy.Psn_spray ~rng ~pkt:(data psn) ~n ~load:no_load)
+  done
+
+let test_control_always_ecmp () =
+  let rng = Rng.create ~seed:6 in
+  let expected = Lb_policy.ecmp_index ~pkt:(ack ()) ~n:4 in
+  List.iter
+    (fun policy ->
+      for _ = 1 to 10 do
+        Alcotest.(check int) "control pinned" expected
+          (Lb_policy.choose policy ~rng ~pkt:(ack ()) ~n:4 ~load:no_load)
+      done)
+    Lb_policy.all
+
+let test_single_candidate () =
+  let rng = Rng.create ~seed:7 in
+  List.iter
+    (fun policy ->
+      Alcotest.(check int) "only choice" 0
+        (Lb_policy.choose policy ~rng ~pkt:(data 5) ~n:1 ~load:no_load))
+    Lb_policy.all
+
+let test_no_candidates () =
+  let rng = Rng.create ~seed:8 in
+  Alcotest.check_raises "empty" (Invalid_argument "Lb_policy.choose: no candidates")
+    (fun () ->
+      ignore (Lb_policy.choose Lb_policy.Ecmp ~rng ~pkt:(data 0) ~n:0 ~load:no_load))
+
+let prop_choose_in_range =
+  QCheck.Test.make ~name:"choice always within candidates" ~count:500
+    QCheck.(triple (int_range 1 16) (int_range 0 10_000) (int_range 0 3))
+    (fun (n, psn, which) ->
+      let rng = Rng.create ~seed:9 in
+      let policy = List.nth Lb_policy.all which in
+      let i = Lb_policy.choose policy ~rng ~pkt:(data psn) ~n ~load:no_load in
+      i >= 0 && i < n)
+
+let () =
+  Alcotest.run "lb_policy"
+    [
+      ( "policies",
+        [
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "ecmp stable" `Quick test_ecmp_stable;
+          Alcotest.test_case "ecmp index" `Quick test_ecmp_matches_index;
+          Alcotest.test_case "random spread" `Quick test_random_spray_spread;
+          Alcotest.test_case "adaptive min" `Quick test_adaptive_picks_min;
+          Alcotest.test_case "adaptive ties" `Quick test_adaptive_tie_break_uniform;
+          Alcotest.test_case "psn spray Eq.1" `Quick test_psn_spray_eq1;
+          Alcotest.test_case "control ecmp" `Quick test_control_always_ecmp;
+          Alcotest.test_case "single candidate" `Quick test_single_candidate;
+          Alcotest.test_case "no candidates" `Quick test_no_candidates;
+          QCheck_alcotest.to_alcotest prop_choose_in_range;
+        ] );
+    ]

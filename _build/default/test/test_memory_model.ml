@@ -1,0 +1,71 @@
+(* Section 4's analytical memory model (Table 1 worked example). *)
+
+let is_infix ~affix s =
+  let n = String.length s and m = String.length affix in
+  let rec go i = i + m <= n && (String.sub s i m = affix || go (i + 1)) in
+  m = 0 || go 0
+
+let test_table1_values () =
+  let p = Memory_model.table1 in
+  Alcotest.(check int) "N_paths" 256 p.Memory_model.n_paths;
+  Alcotest.(check (float 0.1)) "BW" 400. (Rate.to_gbps p.Memory_model.bw);
+  Alcotest.(check int) "RTT" (Sim_time.us 2) p.Memory_model.rtt_last;
+  Alcotest.(check int) "N_NIC" 16 p.Memory_model.n_nic;
+  Alcotest.(check int) "N_QP" 100 p.Memory_model.n_qp;
+  Alcotest.(check int) "MTU" 1500 p.Memory_model.mtu;
+  Alcotest.(check (float 1e-9)) "F" 1.5 p.Memory_model.factor
+
+let test_derived () =
+  let p = Memory_model.table1 in
+  (* M_PathMap = 256 x 2 = 512 B. *)
+  Alcotest.(check int) "pathmap" 512 (Memory_model.pathmap_bytes p);
+  (* N_entries = ceil(400Gbps x 2us x 1.5 / 1500B) = 100. *)
+  Alcotest.(check int) "entries" 100 (Memory_model.n_entries p);
+  (* M_QP = 20 + 100 = 120 B. *)
+  Alcotest.(check int) "per qp" 120 (Memory_model.per_qp_bytes p);
+  (* M_total = 512 + 120 x 100 x 16 = 192,512 B ~ 188 KiB (the paper
+     rounds this to "~193 KB" in decimal kilobytes). *)
+  Alcotest.(check int) "total" 192_512 (Memory_model.total_bytes p);
+  let kb_decimal = float_of_int (Memory_model.total_bytes p) /. 1000. in
+  Alcotest.(check bool) "~193 KB as the paper states" true
+    (kb_decimal > 190. && kb_decimal < 195.)
+
+let test_sram_fraction () =
+  let p = Memory_model.table1 in
+  let frac =
+    Memory_model.fraction_of_sram p ~sram_bytes:Memory_model.tofino_sram_bytes
+  in
+  (* Well under 1% of a 64 MB Tofino SRAM. *)
+  Alcotest.(check bool) "tiny" true (frac < 0.01);
+  Alcotest.(check int) "64MB" (64 * 1024 * 1024) Memory_model.tofino_sram_bytes
+
+let test_scaling () =
+  let p = Memory_model.table1 in
+  (* Doubling QPs doubles the QP contribution. *)
+  let p2 = { p with Memory_model.n_qp = 200 } in
+  Alcotest.(check int) "qp scaling"
+    ((Memory_model.total_bytes p - 512) * 2)
+    (Memory_model.total_bytes p2 - 512);
+  (* Larger MTU shrinks the ring. *)
+  let p3 = { p with Memory_model.mtu = 3000 } in
+  Alcotest.(check int) "mtu halves entries" 50 (Memory_model.n_entries p3)
+
+let test_report_renders () =
+  let s = Format.asprintf "%a" Memory_model.pp_report Memory_model.table1 in
+  Alcotest.(check bool) "mentions M_total" true
+    (String.length s > 100
+    && is_infix ~affix:"M_total" s
+    && is_infix ~affix:"Tofino" s)
+
+let () =
+  Alcotest.run "memory_model"
+    [
+      ( "section 4",
+        [
+          Alcotest.test_case "table1" `Quick test_table1_values;
+          Alcotest.test_case "derived" `Quick test_derived;
+          Alcotest.test_case "sram fraction" `Quick test_sram_fraction;
+          Alcotest.test_case "scaling" `Quick test_scaling;
+          Alcotest.test_case "report" `Quick test_report_renders;
+        ] );
+    ]

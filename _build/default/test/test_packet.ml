@@ -1,0 +1,86 @@
+(* Packet constructors, sizes, direction. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let conn = Flow_id.make ~src:1 ~dst:2 ~qpn:7
+
+let test_flow_id () =
+  Alcotest.(check bool) "equal" true (Flow_id.equal conn conn);
+  Alcotest.(check bool) "not equal" false
+    (Flow_id.equal conn (Flow_id.make ~src:1 ~dst:2 ~qpn:8));
+  Alcotest.(check string) "pp" "1->2/qp7" (Format.asprintf "%a" Flow_id.pp conn);
+  let tbl = Flow_id.Table.create 4 in
+  Flow_id.Table.replace tbl conn 42;
+  Alcotest.(check (option int)) "table" (Some 42) (Flow_id.Table.find_opt tbl conn)
+
+let test_data_packet () =
+  Packet.reset_uid_counter ();
+  let pkt =
+    Packet.data ~conn ~sport:99 ~psn:(Psn.of_int 5) ~payload:1500
+      ~last_of_msg:false ~birth:0 ()
+  in
+  Alcotest.(check int) "size includes overhead" (1500 + Headers.data_overhead)
+    pkt.Packet.size;
+  Alcotest.(check int) "src" 1 pkt.Packet.src_node;
+  Alcotest.(check int) "dst" 2 pkt.Packet.dst_node;
+  Alcotest.(check bool) "is_data" true (Packet.is_data pkt);
+  Alcotest.(check bool) "not nack" false (Packet.is_nack pkt);
+  Alcotest.(check int) "payload" 1500 (Packet.payload_bytes pkt);
+  Alcotest.(check bool) "data is ect" true (pkt.Packet.ecn = Headers.Ect)
+
+let test_control_direction () =
+  (* Acknowledgements travel receiver -> sender. *)
+  let ack = Packet.ack ~conn ~sport:99 ~psn:Psn.zero ~birth:0 in
+  Alcotest.(check int) "ack src is conn dst" 2 ack.Packet.src_node;
+  Alcotest.(check int) "ack dst is conn src" 1 ack.Packet.dst_node;
+  Alcotest.(check int) "ack size" Headers.ack_bytes ack.Packet.size;
+  Alcotest.(check bool) "control not ect" true (ack.Packet.ecn = Headers.Not_ect);
+  let nack = Packet.nack ~conn ~sport:99 ~epsn:(Psn.of_int 3) ~birth:0 in
+  Alcotest.(check bool) "is_nack" true (Packet.is_nack nack);
+  Alcotest.(check int) "nack payload" 0 (Packet.payload_bytes nack);
+  let cnp = Packet.cnp ~conn ~sport:99 ~birth:0 in
+  Alcotest.(check int) "cnp size" Headers.cnp_bytes cnp.Packet.size
+
+let test_uid_fresh () =
+  Packet.reset_uid_counter ();
+  let a = Packet.ack ~conn ~sport:1 ~psn:Psn.zero ~birth:0 in
+  let b = Packet.ack ~conn ~sport:1 ~psn:Psn.zero ~birth:0 in
+  Alcotest.(check bool) "distinct uids" true (a.Packet.uid <> b.Packet.uid)
+
+let test_header_sizes () =
+  Alcotest.(check int) "data overhead"
+    (18 + 20 + 8 + 12 + 4)
+    Headers.data_overhead;
+  Alcotest.(check int) "ack" (Headers.data_overhead + 4) Headers.ack_bytes;
+  Alcotest.(check int) "roce port" 4791 Headers.roce_dst_port
+
+let test_pp_smoke () =
+  let pkt =
+    Packet.data ~conn ~sport:9 ~psn:(Psn.of_int 5) ~payload:100 ~last_of_msg:true
+      ~retransmission:true ~birth:0 ()
+  in
+  let s = Format.asprintf "%a" Packet.pp pkt in
+  Alcotest.(check bool) "mentions retx" true (contains s "retx");
+  Alcotest.(check bool) "mentions last" true (contains s "last")
+
+let test_ecn_pp () =
+  Alcotest.(check string) "ce" "ce" (Format.asprintf "%a" Headers.pp_ecn Headers.Ce);
+  Alcotest.(check string) "ect" "ect" (Format.asprintf "%a" Headers.pp_ecn Headers.Ect)
+
+let () =
+  Alcotest.run "packet"
+    [
+      ( "packet",
+        [
+          Alcotest.test_case "flow id" `Quick test_flow_id;
+          Alcotest.test_case "data" `Quick test_data_packet;
+          Alcotest.test_case "control direction" `Quick test_control_direction;
+          Alcotest.test_case "uid" `Quick test_uid_fresh;
+          Alcotest.test_case "header sizes" `Quick test_header_sizes;
+          Alcotest.test_case "pp" `Quick test_pp_smoke;
+          Alcotest.test_case "ecn pp" `Quick test_ecn_pp;
+        ] );
+    ]

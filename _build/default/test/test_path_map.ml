@@ -1,0 +1,91 @@
+(* Offline PathMap construction from hashing linearity (Fig. 3). *)
+
+let test_build_sizes () =
+  List.iter
+    (fun n ->
+      let map = Path_map.build ~paths:n in
+      Alcotest.(check int) "paths" n (Path_map.paths map);
+      Alcotest.(check int) "memory = 2N" (2 * n) (Path_map.memory_bytes map))
+    [ 1; 2; 4; 8; 16; 64; 256 ]
+
+let test_delta_zero_is_identity () =
+  let map = Path_map.build ~paths:16 in
+  Alcotest.(check int) "delta 0" 0 (Path_map.delta_sport map ~delta_path:0);
+  Alcotest.(check int) "rewrite id" 1234
+    (Path_map.rewrite map ~sport:1234 ~delta_path:0)
+
+let test_deltas_move_hash () =
+  let map = Path_map.build ~paths:16 in
+  for d = 0 to 15 do
+    let ds = Path_map.delta_sport map ~delta_path:d in
+    Alcotest.(check int) "entropy shift matches"
+      d
+      (Ecmp_hash.linear16 ds land 15)
+  done
+
+let test_verify_many_flows () =
+  List.iter
+    (fun n ->
+      let map = Path_map.build ~paths:n in
+      List.iter
+        (fun (src, dst, sport) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "verify N=%d flow %d->%d" n src dst)
+            true
+            (Path_map.verify map ~src ~dst ~sport))
+        [ (1, 2, 1000); (7, 3, 54321); (100, 200, 0xBEEF); (0, 1, 0) ])
+    [ 2; 4; 16; 256 ]
+
+let test_rewrite_covers_all_paths () =
+  (* Spraying residues 0..N-1 through the map hits N distinct paths. *)
+  let n = 8 in
+  let map = Path_map.build ~paths:n in
+  let path_of sp =
+    Ecmp_hash.path_of_hash
+      ~hash:(Ecmp_hash.flow_hash ~src:5 ~dst:9 ~sport:sp ~dport:4791)
+      ~paths:n
+  in
+  let seen = Array.make n false in
+  for r = 0 to n - 1 do
+    seen.(path_of (Path_map.rewrite map ~sport:4242 ~delta_path:r)) <- true
+  done;
+  Array.iteri
+    (fun i hit -> Alcotest.(check bool) (Printf.sprintf "path %d hit" i) true hit)
+    seen
+
+let test_invalid () =
+  Alcotest.check_raises "not a power of two"
+    (Invalid_argument "Path_map.build: paths must be a power of two <= 65536")
+    (fun () -> ignore (Path_map.build ~paths:3));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Path_map.build: paths must be a power of two <= 65536")
+    (fun () -> ignore (Path_map.build ~paths:131_072))
+
+let prop_rewrite_involution =
+  (* XOR-rewriting twice with the same delta restores the sport. *)
+  QCheck.Test.make ~name:"rewrite is an involution" ~count:300
+    QCheck.(pair (int_range 0 65_535) (int_range 0 255))
+    (fun (sport, d) ->
+      let map = Path_map.build ~paths:256 in
+      Path_map.rewrite map
+        ~sport:(Path_map.rewrite map ~sport ~delta_path:d)
+        ~delta_path:d
+      = sport)
+
+let () =
+  Alcotest.run "path_map"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "sizes" `Quick test_build_sizes;
+          Alcotest.test_case "identity" `Quick test_delta_zero_is_identity;
+          Alcotest.test_case "entropy deltas" `Quick test_deltas_move_hash;
+          Alcotest.test_case "invalid" `Quick test_invalid;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "verify flows" `Quick test_verify_many_flows;
+          Alcotest.test_case "covers all paths" `Quick test_rewrite_covers_all_paths;
+          QCheck_alcotest.to_alcotest prop_rewrite_involution;
+        ] );
+    ]

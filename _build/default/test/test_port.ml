@@ -1,0 +1,200 @@
+(* Egress port: serialization, propagation, priority, pause, failure. *)
+
+let conn = Flow_id.make ~src:1 ~dst:2 ~qpn:1
+
+let data ?(payload = 1500) psn =
+  Packet.data ~conn ~sport:9 ~psn:(Psn.of_int psn) ~payload ~last_of_msg:false
+    ~birth:0 ()
+
+let ack () = Packet.ack ~conn ~sport:9 ~psn:Psn.zero ~birth:0
+
+let make ?(bw = 100.) ?(delay = 1000) () =
+  let engine = Engine.create () in
+  let port =
+    Port.create ~engine ~bandwidth:(Rate.gbps bw) ~delay ~label:"t"
+  in
+  let arrived = ref [] in
+  Port.set_deliver port (fun pkt ->
+      arrived := (Engine.now engine, pkt) :: !arrived);
+  (engine, port, arrived)
+
+let test_single_packet_timing () =
+  let engine, port, arrived = make () in
+  (* 1562 B at 100 Gbps = 125 ns serialization (wire size incl. headers),
+     then 1000 ns propagation. *)
+  Port.enqueue port (data 0);
+  Engine.run engine;
+  match !arrived with
+  | [ (t, _) ] ->
+      let expect = Rate.tx_time (Rate.gbps 100.) ~bytes_:(1500 + Headers.data_overhead) + 1000 in
+      Alcotest.(check int) "arrival time" expect t
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_fifo_order () =
+  let engine, port, arrived = make () in
+  for i = 0 to 9 do
+    Port.enqueue port (data i)
+  done;
+  Engine.run engine;
+  let psns =
+    List.rev_map
+      (fun (_, p) ->
+        match p.Packet.kind with Packet.Data { psn; _ } -> Psn.to_int psn | _ -> -1)
+      !arrived
+  in
+  Alcotest.(check (list int)) "in order" (List.init 10 Fun.id) psns
+
+let test_serialization_spacing () =
+  let engine, port, arrived = make ~delay:0 () in
+  Port.enqueue port (data 0);
+  Port.enqueue port (data 1);
+  Engine.run engine;
+  match List.rev !arrived with
+  | [ (t1, _); (t2, _) ] ->
+      let tx = Rate.tx_time (Rate.gbps 100.) ~bytes_:(1500 + Headers.data_overhead) in
+      Alcotest.(check int) "first" tx t1;
+      Alcotest.(check int) "second spaced by serialization" (2 * tx) t2
+  | _ -> Alcotest.fail "expected two deliveries"
+
+let test_control_priority () =
+  let engine, port, arrived = make ~delay:0 () in
+  (* Enqueue lots of data, then an ACK: the ACK overtakes queued data. *)
+  for i = 0 to 4 do
+    Port.enqueue port (data i)
+  done;
+  Port.enqueue port (ack ());
+  Engine.run engine;
+  let kinds =
+    List.rev_map
+      (fun (_, p) -> if Packet.is_data p then "d" else "c")
+      !arrived
+  in
+  (* Packet 0 is already serializing when the ACK arrives; the ACK goes
+     next, before data 1..4. *)
+  Alcotest.(check (list string)) "ack overtakes" [ "d"; "c"; "d"; "d"; "d"; "d" ] kinds
+
+let test_queue_accounting () =
+  let engine, port, _ = make () in
+  ignore engine;
+  Port.enqueue port (data 0);
+  Port.enqueue port (data 1);
+  Port.enqueue port (ack ());
+  (* Packet 0 started serializing immediately, leaving one data packet
+     and one control packet queued. *)
+  Alcotest.(check int) "data bytes" (1500 + Headers.data_overhead) (Port.queue_bytes port);
+  Alcotest.(check int) "ctrl bytes" Headers.ack_bytes (Port.ctrl_queue_bytes port);
+  Alcotest.(check int) "packets" 2 (Port.queue_packets port);
+  Alcotest.(check bool) "busy" true (Port.busy port)
+
+let test_pause_resume () =
+  let engine, port, arrived = make ~delay:0 () in
+  Port.set_paused port true;
+  Port.enqueue port (data 0);
+  Engine.run engine;
+  Alcotest.(check int) "paused holds" 0 (List.length !arrived);
+  Port.set_paused port false;
+  Alcotest.(check bool) "unpaused" false (Port.paused port);
+  Engine.run engine;
+  Alcotest.(check int) "drains after resume" 1 (List.length !arrived)
+
+let test_link_down_drops () =
+  let engine, port, arrived = make () in
+  Port.enqueue port (data 0);
+  Port.enqueue port (data 1);
+  let discards = ref 0 in
+  Port.set_on_discard port (fun _ -> incr discards);
+  Port.set_up port false;
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 (List.length !arrived);
+  Alcotest.(check bool) "drops counted" true (Port.dropped_packets port >= 1);
+  Alcotest.(check bool) "discard hook" true (!discards >= 1);
+  (* New enqueues while down are dropped too. *)
+  Port.enqueue port (data 2);
+  Engine.run engine;
+  Alcotest.(check int) "still nothing" 0 (List.length !arrived)
+
+let test_inject_drops () =
+  let engine, port, arrived = make ~delay:0 () in
+  Port.inject_drops port 2;
+  Port.enqueue port (data 0);
+  Port.enqueue port (data 1);
+  Port.enqueue port (data 2);
+  Port.enqueue port (ack ());
+  Engine.run engine;
+  (* Two data packets vanish; control is never dropped by injection. *)
+  Alcotest.(check int) "one data + one ack" 2 (List.length !arrived);
+  Alcotest.(check int) "dropped count" 2 (Port.dropped_packets port)
+
+let test_on_dequeue_hook () =
+  let engine, port, _ = make ~delay:0 () in
+  let dequeued = ref 0 in
+  Port.set_on_dequeue port (fun _ -> incr dequeued);
+  Port.enqueue port (data 0);
+  Port.enqueue port (data 1);
+  Engine.run engine;
+  Alcotest.(check int) "fired per packet" 2 !dequeued
+
+let test_stats () =
+  let engine, port, _ = make ~delay:0 () in
+  Port.enqueue port (data 0);
+  Port.enqueue port (ack ());
+  Engine.run engine;
+  Alcotest.(check int) "tx packets" 2 (Port.tx_packets port);
+  Alcotest.(check int) "tx bytes"
+    (1500 + Headers.data_overhead + Headers.ack_bytes)
+    (Port.tx_bytes port);
+  Alcotest.(check string) "label" "t" (Port.label port);
+  Alcotest.(check (float 1.)) "bandwidth" 100. (Rate.to_gbps (Port.bandwidth port))
+
+let test_jitter_delays_delivery () =
+  let engine, port, arrived = make ~delay:1000 () in
+  Port.set_jitter port ~rng:(Rng.create ~seed:3) ~max:500;
+  for i = 0 to 19 do
+    Port.enqueue port (data i)
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all arrive" 20 (List.length !arrived);
+  (* Every delivery is somewhere in [base, base + 500ns] after tx end. *)
+  let tx = Rate.tx_time (Rate.gbps 100.) ~bytes_:(1500 + Headers.data_overhead) in
+  let ok = ref true and saw_extra = ref false in
+  List.iteri
+    (fun i (t, _) ->
+      (* Packets arrive newest-first in [arrived]. *)
+      let idx = 19 - i in
+      let base = ((idx + 1) * tx) + 1000 in
+      if t < base || t > base + 500 then ok := false;
+      if t > base then saw_extra := true)
+    !arrived;
+  Alcotest.(check bool) "within jitter bound" true !ok;
+  Alcotest.(check bool) "jitter actually applied" true !saw_extra
+
+let test_deliver_unset_fails () =
+  let engine = Engine.create () in
+  let port = Port.create ~engine ~bandwidth:(Rate.gbps 1.) ~delay:0 ~label:"x" in
+  Port.enqueue port (data 0);
+  Alcotest.check_raises "no deliver"
+    (Failure "Port: deliver callback not set (missing set_deliver)") (fun () ->
+      Engine.run engine)
+
+let () =
+  Alcotest.run "port"
+    [
+      ( "timing",
+        [
+          Alcotest.test_case "single packet" `Quick test_single_packet_timing;
+          Alcotest.test_case "fifo" `Quick test_fifo_order;
+          Alcotest.test_case "serialization spacing" `Quick test_serialization_spacing;
+          Alcotest.test_case "control priority" `Quick test_control_priority;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "queue accounting" `Quick test_queue_accounting;
+          Alcotest.test_case "pause/resume" `Quick test_pause_resume;
+          Alcotest.test_case "link down" `Quick test_link_down_drops;
+          Alcotest.test_case "inject drops" `Quick test_inject_drops;
+          Alcotest.test_case "dequeue hook" `Quick test_on_dequeue_hook;
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "jitter" `Quick test_jitter_delays_delivery;
+          Alcotest.test_case "unset deliver" `Quick test_deliver_unset_fails;
+        ] );
+    ]

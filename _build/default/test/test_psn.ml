@@ -1,0 +1,103 @@
+(* 24-bit PSN wrap-around arithmetic — the foundation of Eq. 1-3. *)
+
+let psn = Alcotest.testable Psn.pp Psn.equal
+
+let test_of_int_masks () =
+  Alcotest.check psn "wraps" (Psn.of_int 0) (Psn.of_int Psn.modulus);
+  Alcotest.check psn "wraps+1" (Psn.of_int 1) (Psn.of_int (Psn.modulus + 1));
+  Alcotest.(check int) "modulus" (1 lsl 24) Psn.modulus;
+  Alcotest.(check int) "bits" 24 Psn.bits
+
+let test_succ_wraps () =
+  Alcotest.check psn "succ max" Psn.zero (Psn.succ (Psn.of_int (Psn.modulus - 1)));
+  Alcotest.check psn "add wraps" (Psn.of_int 4)
+    (Psn.add (Psn.of_int (Psn.modulus - 1)) 5)
+
+let test_distance () =
+  Alcotest.(check int) "forward" 5
+    (Psn.distance ~from:(Psn.of_int 10) (Psn.of_int 15));
+  Alcotest.(check int) "wrap" 6
+    (Psn.distance ~from:(Psn.of_int (Psn.modulus - 3)) (Psn.of_int 3));
+  Alcotest.(check int) "self" 0 (Psn.distance ~from:(Psn.of_int 7) (Psn.of_int 7))
+
+let test_circular_compare () =
+  let a = Psn.of_int 10 and b = Psn.of_int 20 in
+  Alcotest.(check bool) "lt" true (Psn.lt a b);
+  Alcotest.(check bool) "gt" true (Psn.gt b a);
+  Alcotest.(check bool) "le self" true (Psn.le a a);
+  Alcotest.(check bool) "ge self" true (Psn.ge a a);
+  (* Near the wrap point, the numerically large PSN precedes zero. *)
+  let near_wrap = Psn.of_int (Psn.modulus - 5) in
+  Alcotest.(check bool) "wrap lt" true (Psn.lt near_wrap (Psn.of_int 3));
+  Alcotest.(check bool) "wrap gt" true (Psn.gt (Psn.of_int 3) near_wrap)
+
+let test_mod_paths () =
+  Alcotest.(check int) "mod 4" 2 (Psn.mod_paths (Psn.of_int 6) 4);
+  Alcotest.(check int) "mod 1" 0 (Psn.mod_paths (Psn.of_int 6) 1);
+  Alcotest.check_raises "invalid" (Invalid_argument "Psn.mod_paths: paths must be positive")
+    (fun () -> ignore (Psn.mod_paths Psn.zero 0))
+
+let test_same_residue () =
+  Alcotest.(check bool) "6 vs 2 mod 4" true
+    (Psn.same_residue (Psn.of_int 6) (Psn.of_int 2) ~paths:4);
+  Alcotest.(check bool) "3 vs 2 mod 2" false
+    (Psn.same_residue (Psn.of_int 3) (Psn.of_int 2) ~paths:2);
+  (* Power-of-two path counts stay consistent across the 24-bit wrap. *)
+  Alcotest.(check bool) "wrap consistent" true
+    (Psn.same_residue
+       (Psn.of_int (Psn.modulus - 4))
+       (Psn.of_int (Psn.modulus + 4))
+       ~paths:4)
+
+let test_unwrap () =
+  Alcotest.(check int) "identity" 100 (Psn.unwrap ~near:100 (Psn.of_int 100));
+  Alcotest.(check int) "small ahead" 105 (Psn.unwrap ~near:100 (Psn.of_int 105));
+  Alcotest.(check int) "small behind" 95 (Psn.unwrap ~near:100 (Psn.of_int 95));
+  (* Across the wrap: sequence 2^24 + 3 seen near 2^24 - 10. *)
+  let near = Psn.modulus - 10 in
+  Alcotest.(check int) "wrap ahead" (Psn.modulus + 3)
+    (Psn.unwrap ~near (Psn.of_int 3));
+  (* Multiple wraps accumulated in the monotonic counter. *)
+  let near = (3 * Psn.modulus) + 7 in
+  Alcotest.(check int) "multi-wrap" ((3 * Psn.modulus) + 9)
+    (Psn.unwrap ~near (Psn.of_int 9))
+
+let prop_compare_antisymmetric =
+  QCheck.Test.make ~name:"lt antisymmetric within half-window" ~count:500
+    QCheck.(pair (int_range 0 (Psn.modulus - 1)) (int_range 1 ((Psn.modulus / 2) - 1)))
+    (fun (a, d) ->
+      let pa = Psn.of_int a and pb = Psn.of_int (a + d) in
+      Psn.lt pa pb && Psn.gt pb pa && not (Psn.equal pa pb))
+
+let prop_unwrap_roundtrip =
+  QCheck.Test.make ~name:"unwrap inverts truncation near the counter" ~count:500
+    QCheck.(pair (int_range 0 100_000_000) (int_range (-4_000_000) 4_000_000))
+    (fun (near, delta) ->
+      let seq = near + delta in
+      QCheck.assume (seq >= 0);
+      Psn.unwrap ~near (Psn.of_int seq) = seq)
+
+let prop_distance_inverse =
+  QCheck.Test.make ~name:"distance/add inverse" ~count:500
+    QCheck.(pair (int_range 0 (Psn.modulus - 1)) (int_range 0 (Psn.modulus - 1)))
+    (fun (a, d) ->
+      let pa = Psn.of_int a in
+      Psn.distance ~from:pa (Psn.add pa d) = d mod Psn.modulus)
+
+let () =
+  Alcotest.run "psn"
+    [
+      ( "arithmetic",
+        [
+          Alcotest.test_case "of_int masks" `Quick test_of_int_masks;
+          Alcotest.test_case "succ wraps" `Quick test_succ_wraps;
+          Alcotest.test_case "distance" `Quick test_distance;
+          Alcotest.test_case "circular compare" `Quick test_circular_compare;
+          Alcotest.test_case "mod_paths" `Quick test_mod_paths;
+          Alcotest.test_case "same_residue" `Quick test_same_residue;
+          Alcotest.test_case "unwrap" `Quick test_unwrap;
+          QCheck_alcotest.to_alcotest prop_compare_antisymmetric;
+          QCheck_alcotest.to_alcotest prop_unwrap_roundtrip;
+          QCheck_alcotest.to_alcotest prop_distance_inverse;
+        ] );
+    ]

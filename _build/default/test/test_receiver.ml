@@ -1,0 +1,178 @@
+(* The responder state machine: NIC-SR, GBN, Ideal. *)
+
+type log_event = Ack of int | Nack of int
+
+let make ?(mode = Receiver.Sr) ?(ack_coalesce = 1) () =
+  let log = ref [] in
+  let delivered = ref 0 in
+  let r =
+    Receiver.create ~mode ~ack_coalesce
+      ~actions:
+        {
+          Receiver.send_ack = (fun ~epsn -> log := Ack epsn :: !log);
+          Receiver.send_nack = (fun ~epsn -> log := Nack epsn :: !log);
+          Receiver.deliver = (fun ~bytes -> delivered := !delivered + bytes);
+        }
+  in
+  (r, log, delivered)
+
+let feed r seqs =
+  List.iter (fun s -> Receiver.on_data r ~seq:s ~payload:100 ~last_of_msg:false) seqs
+
+let test_in_order () =
+  let r, log, delivered = make () in
+  feed r [ 0; 1; 2 ];
+  Alcotest.(check int) "epsn" 3 (Receiver.epsn r);
+  Alcotest.(check int) "delivered" 300 !delivered;
+  Alcotest.(check bool) "acks, no nacks" true
+    (List.for_all (function Ack _ -> true | Nack _ -> false) !log);
+  Alcotest.(check int) "three acks" 3 (Receiver.acks_sent r)
+
+let test_sr_ooo_single_nack () =
+  let r, log, delivered = make () in
+  (* Gap at 0: packets 1, 2, 3 arrive first.  Exactly one NACK(0). *)
+  feed r [ 1; 2; 3 ];
+  Alcotest.(check int) "epsn stuck" 0 (Receiver.epsn r);
+  let nacks = List.filter (function Nack _ -> true | Ack _ -> false) !log in
+  Alcotest.(check bool) "single NACK for ePSN 0" true (nacks = [ Nack 0 ]);
+  Alcotest.(check int) "ooo buffered" 3 (Receiver.ooo_buffered r);
+  Alcotest.(check int) "payload placed" 300 !delivered;
+  (* The gap fills: ePSN jumps over the bitmap; ack reflects it. *)
+  feed r [ 0 ];
+  Alcotest.(check int) "epsn jumps" 4 (Receiver.epsn r);
+  Alcotest.(check int) "ooo drained" 0 (Receiver.ooo_buffered r);
+  Alcotest.(check int) "all delivered once" 400 !delivered;
+  (match !log with
+  | Ack 4 :: _ -> ()
+  | _ -> Alcotest.fail "expected cumulative ACK 4 after fill")
+
+let test_sr_new_epsn_new_nack () =
+  let r, log, _ = make () in
+  feed r [ 1 ];  (* NACK(0) *)
+  feed r [ 0 ];  (* fills; epsn=2 *)
+  feed r [ 3 ];  (* new gap at 2: NACK(2) *)
+  let nacks =
+    List.rev (List.filter_map (function Nack e -> Some e | Ack _ -> None) !log)
+  in
+  Alcotest.(check (list int)) "one NACK per distinct ePSN" [ 0; 2 ] nacks;
+  Alcotest.(check int) "count" 2 (Receiver.nacks_sent r)
+
+let test_sr_duplicate_ooo_no_extra_nack () =
+  let r, _, delivered = make () in
+  feed r [ 2; 2; 2 ];
+  Alcotest.(check int) "one nack" 1 (Receiver.nacks_sent r);
+  Alcotest.(check int) "dups" 2 (Receiver.duplicate_packets r);
+  Alcotest.(check int) "payload once" 100 !delivered
+
+let test_sr_stale_duplicate_reacks () =
+  let r, log, delivered = make () in
+  feed r [ 0; 1 ];
+  let before = List.length !log in
+  feed r [ 0 ];
+  Alcotest.(check int) "dup counted" 1 (Receiver.duplicate_packets r);
+  Alcotest.(check int) "payload not recounted" 200 !delivered;
+  (match !log with
+  | Ack 2 :: _ -> ()
+  | _ -> Alcotest.fail "expected re-ACK of current ePSN");
+  Alcotest.(check bool) "one more event" true (List.length !log = before + 1)
+
+let test_gbn_drops_ooo () =
+  let r, _, delivered = make ~mode:Receiver.Gbn () in
+  feed r [ 0; 2; 3 ];
+  Alcotest.(check int) "epsn" 1 (Receiver.epsn r);
+  Alcotest.(check int) "dropped" 2 (Receiver.ooo_dropped r);
+  Alcotest.(check int) "only in-order delivered" 100 !delivered;
+  Alcotest.(check int) "one nack" 1 (Receiver.nacks_sent r);
+  Alcotest.(check int) "no buffering" 0 (Receiver.ooo_buffered r);
+  (* Retransmitted 1 arrives: delivery resumes; 2 and 3 must come again. *)
+  feed r [ 1 ];
+  Alcotest.(check int) "epsn 2" 2 (Receiver.epsn r);
+  feed r [ 2; 3 ];
+  Alcotest.(check int) "caught up" 4 (Receiver.epsn r)
+
+let test_ideal_never_nacks () =
+  let r, log, delivered = make ~mode:Receiver.Ideal () in
+  feed r [ 3; 1; 2; 0 ];
+  Alcotest.(check int) "epsn" 4 (Receiver.epsn r);
+  Alcotest.(check int) "all delivered" 400 !delivered;
+  Alcotest.(check int) "zero nacks" 0 (Receiver.nacks_sent r);
+  Alcotest.(check bool) "only acks" true
+    (List.for_all (function Ack _ -> true | Nack _ -> false) !log)
+
+let test_ack_coalescing () =
+  let r, _, _ = make ~ack_coalesce:4 () in
+  feed r [ 0; 1; 2 ];
+  Alcotest.(check int) "held back" 0 (Receiver.acks_sent r);
+  feed r [ 3 ];
+  Alcotest.(check int) "flushed at 4" 1 (Receiver.acks_sent r)
+
+let test_last_of_msg_flushes () =
+  let r, log, _ = make ~ack_coalesce:100 () in
+  Receiver.on_data r ~seq:0 ~payload:100 ~last_of_msg:false;
+  Receiver.on_data r ~seq:1 ~payload:50 ~last_of_msg:true;
+  Alcotest.(check int) "flushed" 1 (Receiver.acks_sent r);
+  match !log with
+  | [ Ack 2 ] -> ()
+  | _ -> Alcotest.fail "expected exactly ACK 2"
+
+let test_gap_fill_flushes () =
+  let r, _, _ = make ~ack_coalesce:100 () in
+  feed r [ 1; 2 ];
+  Alcotest.(check int) "nothing yet" 0 (Receiver.acks_sent r);
+  feed r [ 0 ];
+  (* Filling a gap forces a cumulative ACK despite coalescing. *)
+  Alcotest.(check int) "flush on fill" 1 (Receiver.acks_sent r)
+
+let test_invalid_coalesce () =
+  Alcotest.check_raises "zero" (Invalid_argument "Receiver.create: ack_coalesce >= 1")
+    (fun () -> ignore (make ~ack_coalesce:0 ()))
+
+(* Property: feeding any permutation of 0..n-1 to an SR receiver delivers
+   each payload exactly once and ends with ePSN = n. *)
+let prop_sr_permutation_complete =
+  QCheck.Test.make ~name:"SR handles any permutation" ~count:200
+    QCheck.(int_range 1 60)
+    (fun n ->
+      let rng = Rng.create ~seed:n in
+      let arr = Array.init n Fun.id in
+      Rng.shuffle_in_place rng arr;
+      let r, _, delivered = make () in
+      Array.iter (fun s -> Receiver.on_data r ~seq:s ~payload:7 ~last_of_msg:false) arr;
+      Receiver.epsn r = n && !delivered = 7 * n && Receiver.ooo_buffered r = 0)
+
+(* Property: with duplicates injected, payload is still counted once. *)
+let prop_sr_dedup =
+  QCheck.Test.make ~name:"SR deduplicates" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 80) (int_range 0 20))
+    (fun seqs ->
+      let r, _, delivered = make () in
+      List.iter (fun s -> Receiver.on_data r ~seq:s ~payload:3 ~last_of_msg:false) seqs;
+      let distinct = List.sort_uniq compare seqs in
+      !delivered = 3 * List.length distinct)
+
+let () =
+  Alcotest.run "receiver"
+    [
+      ( "nic-sr",
+        [
+          Alcotest.test_case "in order" `Quick test_in_order;
+          Alcotest.test_case "ooo single nack" `Quick test_sr_ooo_single_nack;
+          Alcotest.test_case "new epsn new nack" `Quick test_sr_new_epsn_new_nack;
+          Alcotest.test_case "dup ooo" `Quick test_sr_duplicate_ooo_no_extra_nack;
+          Alcotest.test_case "stale dup" `Quick test_sr_stale_duplicate_reacks;
+          QCheck_alcotest.to_alcotest prop_sr_permutation_complete;
+          QCheck_alcotest.to_alcotest prop_sr_dedup;
+        ] );
+      ( "gbn / ideal",
+        [
+          Alcotest.test_case "gbn drops" `Quick test_gbn_drops_ooo;
+          Alcotest.test_case "ideal" `Quick test_ideal_never_nacks;
+        ] );
+      ( "acking",
+        [
+          Alcotest.test_case "coalescing" `Quick test_ack_coalescing;
+          Alcotest.test_case "last flushes" `Quick test_last_of_msg_flushes;
+          Alcotest.test_case "gap fill flushes" `Quick test_gap_fill_flushes;
+          Alcotest.test_case "invalid" `Quick test_invalid_coalesce;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+(* Deterministic splittable RNG. *)
+
+let test_determinism () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let test_split_independent () =
+  (* A split stream is not perturbed by further draws from the parent. *)
+  let p1 = Rng.create ~seed:5 in
+  let c1 = Rng.split p1 in
+  let c1_draws = List.init 20 (fun _ -> Rng.int64 c1) in
+  let p2 = Rng.create ~seed:5 in
+  let c2 = Rng.split p2 in
+  for _ = 1 to 50 do
+    ignore (Rng.int64 p2)
+  done;
+  let c2_draws = List.init 20 (fun _ -> Rng.int64 c2) in
+  Alcotest.(check (list int64)) "child unaffected" c1_draws c2_draws
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_int_bound_one () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1" 0 (Rng.int rng 1)
+  done
+
+let test_int_invalid () =
+  let rng = Rng.create ~seed:3 in
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_float_range () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng in
+    if v < 0. || v >= 1. then Alcotest.failf "float out of range: %f" v
+  done
+
+let test_uniformity_rough () =
+  let rng = Rng.create ~seed:9 in
+  let buckets = Array.make 8 0 in
+  let n = 80_000 in
+  for _ = 1 to n do
+    let b = Rng.int rng 8 in
+    buckets.(b) <- buckets.(b) + 1
+  done;
+  let expect = n / 8 in
+  Array.iteri
+    (fun i c ->
+      if abs (c - expect) > expect / 5 then
+        Alcotest.failf "bucket %d badly skewed: %d vs %d" i c expect)
+    buckets
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:11 in
+  let n = 50_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    let v = Rng.exponential rng ~mean:10. in
+    if v < 0. then Alcotest.fail "negative exponential";
+    sum := !sum +. v
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 10" true (mean > 9. && mean < 11.)
+
+let test_shuffle_permutes () =
+  let rng = Rng.create ~seed:13 in
+  let arr = Array.init 50 Fun.id in
+  let orig = Array.copy arr in
+  Rng.shuffle_in_place rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "same multiset" true (sorted = orig);
+  Alcotest.(check bool) "actually moved" true (arr <> orig)
+
+let prop_bool_balanced =
+  QCheck.Test.make ~name:"bool is roughly balanced" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Rng.create ~seed in
+      let trues = ref 0 in
+      for _ = 1 to 1000 do
+        if Rng.bool rng then incr trues
+      done;
+      !trues > 350 && !trues < 650)
+
+let () =
+  Alcotest.run "rng"
+    [
+      ( "streams",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+          Alcotest.test_case "split independence" `Quick test_split_independent;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int bound one" `Quick test_int_bound_one;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "uniformity" `Quick test_uniformity_rough;
+          Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
+          QCheck_alcotest.to_alcotest prop_bool_balanced;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+(* Equal-cost shortest-path routing. *)
+
+let motivation () =
+  let ls = Leaf_spine.build Leaf_spine.motivation in
+  (ls, Routing.compute ls.Leaf_spine.topo)
+
+let test_host_next_hop () =
+  let ls, routing = motivation () in
+  (* A host's only way out is its ToR. *)
+  let hops = Routing.next_hops routing ~node:0 ~dst:5 in
+  Alcotest.(check int) "one hop" 1 (Array.length hops);
+  Alcotest.(check int) "to tor" (Leaf_spine.tor_of_host ls 0) (fst hops.(0))
+
+let test_tor_fanout () =
+  let ls, routing = motivation () in
+  let tor0 = ls.Leaf_spine.leaves.(0) in
+  (* Cross-rack: all spines are equal-cost. *)
+  let hops = Routing.next_hops routing ~node:tor0 ~dst:5 in
+  Alcotest.(check int) "four spines" 4 (Array.length hops);
+  let peers = Array.to_list (Array.map fst hops) in
+  Alcotest.(check (list int)) "sorted by peer" (List.sort compare peers) peers;
+  (* Same-rack: direct to the host. *)
+  let hops = Routing.next_hops routing ~node:tor0 ~dst:2 in
+  Alcotest.(check int) "direct" 1 (Array.length hops);
+  Alcotest.(check int) "host" 2 (fst hops.(0))
+
+let test_spine_downhill () =
+  let ls, routing = motivation () in
+  let spine = ls.Leaf_spine.spines.(0) in
+  let hops = Routing.next_hops routing ~node:spine ~dst:5 in
+  Alcotest.(check int) "one way down" 1 (Array.length hops);
+  Alcotest.(check int) "to dst tor" (Leaf_spine.tor_of_host ls 5) (fst hops.(0))
+
+let test_distance () =
+  let ls, routing = motivation () in
+  Alcotest.(check int) "self" 0 (Routing.distance routing ~node:5 ~dst:5);
+  Alcotest.(check int) "same rack" 2 (Routing.distance routing ~node:0 ~dst:2);
+  Alcotest.(check int) "cross rack" 4 (Routing.distance routing ~node:0 ~dst:5);
+  Alcotest.(check int) "tor to local host" 1
+    (Routing.distance routing ~node:(Leaf_spine.tor_of_host ls 0) ~dst:0)
+
+let test_path_count_leaf_spine () =
+  let _, routing = motivation () in
+  Alcotest.(check int) "cross rack = spines" 4
+    (Routing.path_count routing ~src:0 ~dst:5);
+  Alcotest.(check int) "same rack" 1 (Routing.path_count routing ~src:0 ~dst:2);
+  Alcotest.(check int) "self" 1 (Routing.path_count routing ~src:0 ~dst:0)
+
+let test_path_count_fat_tree () =
+  let ft =
+    Fat_tree.build ~k:4 ~host_bw:(Rate.gbps 100.) ~fabric_bw:(Rate.gbps 100.)
+      ~link_delay:1
+  in
+  let routing = Routing.compute ft.Fat_tree.topo in
+  (* Inter-pod: (k/2)^2 = 4; intra-pod cross-ToR: k/2 = 2. *)
+  Alcotest.(check int) "inter-pod" 4 (Routing.path_count routing ~src:0 ~dst:15);
+  Alcotest.(check int) "intra-pod" 2 (Routing.path_count routing ~src:0 ~dst:2);
+  Alcotest.(check int) "same tor" 1 (Routing.path_count routing ~src:0 ~dst:1)
+
+let test_failure_recompute () =
+  let ls, routing = motivation () in
+  let tor0 = ls.Leaf_spine.leaves.(0) in
+  let spine0 = ls.Leaf_spine.spines.(0) in
+  let link = Option.get (Topology.link_between ls.Leaf_spine.topo tor0 spine0) in
+  Topology.set_link_up ls.Leaf_spine.topo ~link_id:link false;
+  Routing.recompute routing;
+  let hops = Routing.next_hops routing ~node:tor0 ~dst:5 in
+  Alcotest.(check int) "three spines left" 3 (Array.length hops);
+  Alcotest.(check bool) "spine0 gone" true
+    (Array.for_all (fun (p, _) -> p <> spine0) hops);
+  Alcotest.(check int) "paths now 3" 3 (Routing.path_count routing ~src:0 ~dst:5);
+  Topology.set_link_up ls.Leaf_spine.topo ~link_id:link true;
+  Routing.recompute routing;
+  Alcotest.(check int) "restored" 4
+    (Array.length (Routing.next_hops routing ~node:tor0 ~dst:5))
+
+let test_unreachable () =
+  let ls, routing = motivation () in
+  (* Cut the destination host's only link. *)
+  let tor = Leaf_spine.tor_of_host ls 5 in
+  let link = Option.get (Topology.link_between ls.Leaf_spine.topo 5 tor) in
+  Topology.set_link_up ls.Leaf_spine.topo ~link_id:link false;
+  Routing.recompute routing;
+  Alcotest.(check int) "no hops" 0
+    (Array.length (Routing.next_hops routing ~node:0 ~dst:5));
+  Alcotest.(check int) "infinite distance" max_int
+    (Routing.distance routing ~node:0 ~dst:5)
+
+let test_non_host_dst_rejected () =
+  let ls, routing = motivation () in
+  Alcotest.check_raises "switch dst"
+    (Invalid_argument "Routing: destination is not a host") (fun () ->
+      ignore (Routing.next_hops routing ~node:0 ~dst:ls.Leaf_spine.leaves.(0)))
+
+let test_hosts_do_not_transit () =
+  (* Even if a host had two links, traffic must not route through it;
+     check on the standard topology that next hops at one host never point
+     to another host. *)
+  let ls, routing = motivation () in
+  Array.iter
+    (fun h ->
+      let hops = Routing.next_hops routing ~node:h ~dst:5 in
+      Array.iter
+        (fun (peer, _) ->
+          if h <> 5 then
+            Alcotest.(check bool)
+              "next hop is a switch" false
+              (Topology.is_host ls.Leaf_spine.topo peer))
+        hops)
+    ls.Leaf_spine.hosts
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "next hops",
+        [
+          Alcotest.test_case "host" `Quick test_host_next_hop;
+          Alcotest.test_case "tor fanout" `Quick test_tor_fanout;
+          Alcotest.test_case "spine downhill" `Quick test_spine_downhill;
+          Alcotest.test_case "no transit through hosts" `Quick test_hosts_do_not_transit;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "distance" `Quick test_distance;
+          Alcotest.test_case "path count leaf-spine" `Quick test_path_count_leaf_spine;
+          Alcotest.test_case "path count fat-tree" `Quick test_path_count_fat_tree;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "recompute" `Quick test_failure_recompute;
+          Alcotest.test_case "unreachable" `Quick test_unreachable;
+          Alcotest.test_case "non-host dst" `Quick test_non_host_dst_rejected;
+        ] );
+    ]

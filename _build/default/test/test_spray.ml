@@ -1,0 +1,86 @@
+(* Eq. 1-3: PSN-based spraying and NACK validity. *)
+
+let test_eq1_examples () =
+  (* Fig. 3: PSN 6 over 4 paths with base 0 goes to path 2. *)
+  Alcotest.(check int) "fig3" 2
+    (Spray.path_for_psn ~psn:(Psn.of_int 6) ~base:0 ~paths:4);
+  (* Base shifts rotate the assignment. *)
+  Alcotest.(check int) "base shift" 0
+    (Spray.path_for_psn ~psn:(Psn.of_int 6) ~base:2 ~paths:4);
+  Alcotest.(check int) "single path" 0
+    (Spray.path_for_psn ~psn:(Psn.of_int 12345) ~base:7 ~paths:1)
+
+let test_eq1_uniform () =
+  (* Any window of N consecutive PSNs covers all N paths exactly once. *)
+  let n = 8 in
+  for start = 0 to 20 do
+    let seen = Array.make n 0 in
+    for psn = start to start + n - 1 do
+      let p = Spray.path_for_psn ~psn:(Psn.of_int psn) ~base:3 ~paths:n in
+      seen.(p) <- seen.(p) + 1
+    done;
+    Array.iter (fun c -> Alcotest.(check int) "exactly once" 1 c) seen
+  done
+
+let test_eq3_examples () =
+  (* Section 3.1's examples with 2 paths and ePSN = 0: PSN 2 shares the
+     path (valid NACK); PSN 1 does not (invalid NACK). *)
+  Alcotest.(check bool) "psn2 valid" true
+    (Spray.nack_is_valid ~tpsn:(Psn.of_int 2) ~epsn:Psn.zero ~paths:2);
+  Alcotest.(check bool) "psn1 invalid" false
+    (Spray.nack_is_valid ~tpsn:(Psn.of_int 1) ~epsn:Psn.zero ~paths:2);
+  (* Fig. 4b: 3 mod 2 <> 2 mod 2 (block); 6 mod 2 = 4 mod 2 (forward). *)
+  Alcotest.(check bool) "fig4b block" false
+    (Spray.nack_is_valid ~tpsn:(Psn.of_int 3) ~epsn:(Psn.of_int 2) ~paths:2);
+  Alcotest.(check bool) "fig4b forward" true
+    (Spray.nack_is_valid ~tpsn:(Psn.of_int 6) ~epsn:(Psn.of_int 4) ~paths:2)
+
+let prop_eq3_equiv_path_equality =
+  (* Eq. 3 holds iff Eq. 1 assigns both PSNs the same path, whatever the
+     base. *)
+  QCheck.Test.make ~name:"Eq.3 <=> same Eq.1 path" ~count:1000
+    QCheck.(
+      quad (int_range 0 1_000_000) (int_range 0 1_000_000) (int_range 1 64)
+        (int_range 0 1000))
+    (fun (a, b, paths, base) ->
+      let pa = Psn.of_int a and pb = Psn.of_int b in
+      Spray.same_path ~a:pa ~b:pb ~paths
+      = (Spray.path_for_psn ~psn:pa ~base ~paths
+         = Spray.path_for_psn ~psn:pb ~base ~paths))
+
+let prop_eq1_range =
+  QCheck.Test.make ~name:"Eq.1 lands in [0,N)" ~count:1000
+    QCheck.(triple (int_range 0 10_000_000) (int_range 1 256) (int_range 0 10_000))
+    (fun (psn, paths, base) ->
+      let p = Spray.path_for_psn ~psn:(Psn.of_int psn) ~base ~paths in
+      p >= 0 && p < paths)
+
+let test_base_for_flow_stable () =
+  let conn = Flow_id.make ~src:10 ~dst:20 ~qpn:3 in
+  let b1 = Spray.base_for_flow conn ~sport:555 ~paths:16 in
+  let b2 = Spray.base_for_flow conn ~sport:555 ~paths:16 in
+  Alcotest.(check int) "stable" b1 b2;
+  Alcotest.(check bool) "in range" true (b1 >= 0 && b1 < 16)
+
+let test_invalid_paths () =
+  Alcotest.check_raises "zero paths"
+    (Invalid_argument "Spray.path_for_psn: paths must be positive") (fun () ->
+      ignore (Spray.path_for_psn ~psn:Psn.zero ~base:0 ~paths:0))
+
+let () =
+  Alcotest.run "spray"
+    [
+      ( "eq1",
+        [
+          Alcotest.test_case "examples" `Quick test_eq1_examples;
+          Alcotest.test_case "uniform cover" `Quick test_eq1_uniform;
+          Alcotest.test_case "invalid" `Quick test_invalid_paths;
+          QCheck_alcotest.to_alcotest prop_eq1_range;
+        ] );
+      ( "eq3",
+        [
+          Alcotest.test_case "paper examples" `Quick test_eq3_examples;
+          Alcotest.test_case "base stable" `Quick test_base_for_flow_stable;
+          QCheck_alcotest.to_alcotest prop_eq3_equiv_path_equality;
+        ] );
+    ]

@@ -1,0 +1,87 @@
+(* The trace facility, including its integration with the switch's
+   Themis decision points. *)
+
+let test_silent_by_default () =
+  Alcotest.(check bool) "off" false (Trace.enabled ());
+  Trace.emit ~time:0 ~cat:"x" "ignored";
+  Alcotest.(check (list (triple int string string))) "nothing retained" []
+    (Trace.retained ())
+
+let test_retain () =
+  Trace.set_sink Trace.Retain;
+  Trace.clear ();
+  Trace.emit ~time:5 ~cat:"a" "one";
+  Trace.emitf ~time:7 ~cat:"b" "two %d" 2;
+  let events = Trace.retained () in
+  Trace.set_sink Trace.Silent;
+  Alcotest.(check (list (triple int string string)))
+    "ordered oldest first"
+    [ (5, "a", "one"); (7, "b", "two 2") ]
+    events
+
+let test_clear () =
+  Trace.set_sink Trace.Retain;
+  Trace.clear ();
+  Trace.emit ~time:1 ~cat:"a" "x";
+  Trace.clear ();
+  let events = Trace.retained () in
+  Trace.set_sink Trace.Silent;
+  Alcotest.(check int) "cleared" 0 (List.length events)
+
+let test_switch_decisions_traced () =
+  (* An end-to-end Themis run with tracing retained: the blocked NACKs
+     must appear as themis-d events. *)
+  Trace.set_sink Trace.Retain;
+  Trace.clear ();
+  let params =
+    Network.default_params ~fabric:Leaf_spine.motivation
+      ~scheme:(Network.Themis { compensation = true })
+  in
+  let net = Network.build params in
+  let ls = Network.fabric net in
+  let done_count = ref 0 in
+  let groups = Workload.motivation_groups ls in
+  Array.iter
+    (fun members ->
+      let n = Array.length members in
+      Array.iteri
+        (fun i src ->
+          let qp = Network.connect net ~src ~dst:members.((i + 1) mod n) in
+          Rnic.post_send qp ~bytes:500_000 ~on_complete:(fun _ ->
+              incr done_count))
+        members)
+    groups;
+  Network.run net ~until:(Sim_time.sec 5);
+  let events = Trace.retained () in
+  Trace.set_sink Trace.Silent;
+  Trace.clear ();
+  Alcotest.(check int) "flows done" 8 !done_count;
+  let themis_events =
+    List.filter (fun (_, cat, _) -> cat = "themis-d") events
+  in
+  let blocked =
+    match Network.themis_totals net with
+    | Some t -> t.Network.nacks_blocked
+    | None -> 0
+  in
+  Alcotest.(check bool) "blocked NACKs happened" true (blocked > 0);
+  Alcotest.(check int) "one trace event per decision" blocked
+    (List.length themis_events);
+  List.iter
+    (fun (time, _, msg) ->
+      Alcotest.(check bool) "timestamped" true (time >= 0);
+      Alcotest.(check bool) "mentions blocking" true
+        (String.length msg > 0))
+    themis_events
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "silent default" `Quick test_silent_by_default;
+          Alcotest.test_case "retain" `Quick test_retain;
+          Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "switch integration" `Quick test_switch_decisions_traced;
+        ] );
+    ]

@@ -1,0 +1,51 @@
+(* Growable arrays. *)
+
+let test_push_get () =
+  let v = Vec.create () in
+  Alcotest.(check int) "empty" 0 (Vec.length v);
+  let i0 = Vec.push v "a" in
+  let i1 = Vec.push v "b" in
+  Alcotest.(check int) "idx0" 0 i0;
+  Alcotest.(check int) "idx1" 1 i1;
+  Alcotest.(check string) "get" "b" (Vec.get v 1)
+
+let test_set () =
+  let v = Vec.create () in
+  ignore (Vec.push v 1);
+  Vec.set v 0 9;
+  Alcotest.(check int) "set" 9 (Vec.get v 0)
+
+let test_bounds () =
+  let v = Vec.create () in
+  ignore (Vec.push v 1);
+  Alcotest.check_raises "oob get" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 1));
+  Alcotest.check_raises "negative" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v (-1)))
+
+let test_growth_and_iter () =
+  let v = Vec.create () in
+  for i = 0 to 999 do
+    ignore (Vec.push v i)
+  done;
+  Alcotest.(check int) "length" 1000 (Vec.length v);
+  let sum = Vec.fold_left ( + ) 0 v in
+  Alcotest.(check int) "fold" (999 * 1000 / 2) sum;
+  let count = ref 0 in
+  Vec.iter (fun _ -> incr count) v;
+  Alcotest.(check int) "iter" 1000 !count;
+  Vec.iteri (fun i x -> Alcotest.(check int) "iteri" i x) v;
+  Alcotest.(check int) "to_array" 1000 (Array.length (Vec.to_array v));
+  Alcotest.(check int) "to_list" 1000 (List.length (Vec.to_list v))
+
+let () =
+  Alcotest.run "vec"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "push/get" `Quick test_push_get;
+          Alcotest.test_case "set" `Quick test_set;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "growth/iter" `Quick test_growth_and_iter;
+        ] );
+    ]
