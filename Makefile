@@ -1,0 +1,28 @@
+# Tooling entry points. `make check` is the CI gate: it must stay green
+# on every commit.
+
+.PHONY: all build test examples micro check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Every example must at least build; quickstart doubles as a fast
+# end-to-end smoke run.
+examples:
+	dune build examples
+	dune exec examples/quickstart.exe
+
+# Telemetry/data-plane hot paths; the histogram record budget is 100 ns.
+micro:
+	dune exec bench/main.exe -- micro
+
+check: build test examples micro
+	@echo "check: OK"
+
+clean:
+	dune clean

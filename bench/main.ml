@@ -266,10 +266,36 @@ let micro () =
              (Packet.data ~conn ~sport:9 ~psn:(Psn.of_int 5) ~payload:1500
                 ~last_of_msg:false ~birth:0 ())))
   in
+  (* Telemetry hot paths; the histogram record must stay under ~100 ns or
+     instrumenting per-packet sites would distort the simulator. *)
+  let hist = Histogram.create () in
+  let hist_counter = ref 0 in
+  let hist_test =
+    Test.make ~name:"telemetry: histogram record"
+      (Staged.stage (fun () ->
+           incr hist_counter;
+           Histogram.record hist (float_of_int (1 + (!hist_counter land 0xFFFF)))))
+  in
+  let registry = Metrics.create () in
+  let cached = Metrics.counter registry "bench_counter" in
+  let counter_test =
+    Test.make ~name:"telemetry: counter incr (cached handle)"
+      (Staged.stage (fun () -> Metrics.incr cached))
+  in
+  let tele_ctx = Telemetry.enable ~event_capacity:4096 () in
+  ignore tele_ctx;
+  let ev_counter = ref 0 in
+  let event_test =
+    Test.make ~name:"telemetry: event record (ring)"
+      (Staged.stage (fun () ->
+           incr ev_counter;
+           Telemetry.record ~time:!ev_counter
+             (Event.Retransmission { conn; psn = !ev_counter })))
+  in
   let tests =
     [
       spray_test; validate_test; ring_test; scan_test; pathmap_test; hash_test;
-      heap_test; packet_test;
+      heap_test; packet_test; hist_test; counter_test; event_test;
     ]
   in
   let ols =
@@ -290,7 +316,8 @@ let micro () =
           | Some (est :: _) -> Format.printf "%-48s %10.1f ns/op@." name est
           | Some [] | None -> Format.printf "%-48s %14s@." name "n/a")
         analyzed)
-    tests
+    tests;
+  Telemetry.disable ()
 
 (* ------------------------------------------------------------------ *)
 

@@ -27,16 +27,33 @@ let motivation_cmd =
       & opt (some string) None
       & info [ "csv-dir" ] ~doc:"Write fig1b.csv / fig1c.csv there.")
   in
-  let run msg_mb series seed csv_dir =
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:
+            "Enable the typed telemetry subsystem for the NIC-SR run and \
+             print a metric/event summary.  With $(b,--csv-dir), also write \
+             telemetry_metrics.csv and telemetry_events.jsonl.")
+  in
+  let run msg_mb series seed csv_dir telemetry =
     let bytes_ = int_of_float (msg_mb *. 1e6) in
-    let run_one transport =
+    let run_one ?(telemetry = false) transport =
       Experiment.run_motivation
-        { Experiment.default_motivation with msg_bytes = bytes_; transport; seed }
+        {
+          Experiment.default_motivation with
+          msg_bytes = bytes_;
+          transport;
+          seed;
+          telemetry;
+        }
     in
     Format.printf "Motivation (Fig. 1): 8 hosts, 2x4 leaf-spine, 100 Gbps, random spraying@.";
     Format.printf "per-flow payload: %.1f MB@." msg_mb;
-    let sr = run_one `Sr in
+    (* Ideal first: the telemetry context installed for the NIC-SR run must
+       not absorb records from a second build. *)
     let ideal = run_one `Ideal in
+    let sr = run_one ~telemetry `Sr in
     Format.printf "@.NIC-SR:@.";
     Format.printf "  avg spurious-retransmission ratio  %.3f   (paper Fig.1b avg: 0.16)@."
       sr.Experiment.avg_retx_ratio;
@@ -52,6 +69,28 @@ let motivation_cmd =
       pp_series ~header:"Fig.1b retx ratio (time us, ratio)" sr.Experiment.retx_series;
       pp_series ~header:"Fig.1c sending rate (time us, Gbps)" sr.Experiment.rate_series
     end;
+    (match sr.Experiment.telemetry with
+    | None -> ()
+    | Some s ->
+        Format.printf "@.Telemetry (NIC-SR run):@.";
+        Format.printf "  data packets %d, retx %d, NACKs generated %d@."
+          s.Experiment.tele_data_packets s.Experiment.tele_retx_packets
+          s.Experiment.tele_nacks_generated;
+        Format.printf
+          "  NACK verdicts: valid %d, blocked %d, underflow %d; compensation \
+           sent %d / cancelled %d@."
+          s.Experiment.tele_nacks_valid s.Experiment.tele_nacks_blocked
+          s.Experiment.tele_nacks_underflow s.Experiment.tele_comp_sent
+          s.Experiment.tele_comp_cancelled;
+        Format.printf "  flows completed %d, FCT p50 %.1f us, p99 %.1f us@."
+          s.Experiment.tele_flows_completed s.Experiment.tele_fct_p50_us
+          s.Experiment.tele_fct_p99_us;
+        Format.printf "  ECN marks %d, buffer drops %d, events %d (%d dropped)@."
+          s.Experiment.tele_ecn_marks s.Experiment.tele_buffer_drops
+          s.Experiment.tele_events s.Experiment.tele_events_dropped;
+        (match Telemetry.ctx () with
+        | Some ctx -> Format.printf "@.%a" Export.pp_events_by_kind ctx
+        | None -> ()));
     match csv_dir with
     | None -> ()
     | Some dir ->
@@ -61,10 +100,24 @@ let motivation_cmd =
         Csv_export.write_series
           ~path:(Filename.concat dir "fig1c.csv")
           ~header:("time_us", "rate_gbps") sr.Experiment.rate_series;
-        Format.printf "@.wrote %s/fig1b.csv and fig1c.csv@." dir
+        Format.printf "@.wrote %s/fig1b.csv and fig1c.csv@." dir;
+        if telemetry then begin
+          (match Telemetry.metrics () with
+          | Some m ->
+              let path = Filename.concat dir "telemetry_metrics.csv" in
+              Export.write_metrics_csv ~path m;
+              Format.printf "wrote %s@." path
+          | None -> ());
+          match Telemetry.ctx () with
+          | Some ctx ->
+              let path = Filename.concat dir "telemetry_events.jsonl" in
+              Export.write_events ~path ctx;
+              Format.printf "wrote %s@." path
+          | None -> ()
+        end
   in
   Cmd.v (Cmd.info "motivation" ~doc:"Figure 1 motivation experiment")
-    Term.(const run $ msg_mb $ series $ seed $ csv_dir)
+    Term.(const run $ msg_mb $ series $ seed $ csv_dir $ telemetry)
 
 let fig5_cmd =
   let coll_arg =

@@ -13,6 +13,8 @@ type stats = {
 type t = {
   mutable paths : int;
   compensation : bool;
+  node : int;  (* owning ToR, for telemetry; -1 when standalone *)
+  clock : unit -> Sim_time.t;  (* telemetry timestamps *)
   table : Flow_table.t;
   inject_nack : conn:Flow_id.t -> sport:int -> epsn:Psn.t -> unit;
   mutable nacks_seen : int;
@@ -24,11 +26,14 @@ type t = {
   mutable data_seen : int;
 }
 
-let create ~paths ~queue_capacity ?(compensation = true) ~inject_nack () =
+let create ~paths ~queue_capacity ?(compensation = true) ?(node = -1)
+    ?(clock = fun () -> Sim_time.zero) ~inject_nack () =
   if paths <= 0 then invalid_arg "Themis_d.create: paths must be positive";
   {
     paths;
     compensation;
+    node;
+    clock;
     table = Flow_table.create ~queue_capacity;
     inject_nack;
     nacks_seen = 0;
@@ -39,6 +44,23 @@ let create ~paths ~queue_capacity ?(compensation = true) ~inject_nack () =
     compensation_cancelled = 0;
     data_seen = 0;
   }
+
+(* Telemetry: the registry carries the NACK-verdict breakdown the
+   paper's evaluation reports; the event sink gets one typed event per
+   decision so per-flow timelines can be reconstructed offline. *)
+let tm_verdict t verdict ev =
+  if Telemetry.enabled () then begin
+    Telemetry.incr_counter ~labels:[ ("verdict", verdict) ] "themis_nacks";
+    Telemetry.record ~time:(t.clock ()) ev
+  end
+
+let tm_compensation t action ev =
+  if Telemetry.enabled () then begin
+    Telemetry.incr_counter ~labels:[ ("action", action) ] "themis_compensation";
+    match ev with
+    | Some ev -> Telemetry.record ~time:(t.clock ()) ev
+    | None -> ()
+  end
 
 let paths t = t.paths
 
@@ -54,7 +76,8 @@ let check_compensation t (entry : Flow_table.entry) conn sport psn =
     if Psn.equal psn bepsn then begin
       (* The blocked ePSN packet was merely late, not lost. *)
       entry.Flow_table.valid <- false;
-      t.compensation_cancelled <- t.compensation_cancelled + 1
+      t.compensation_cancelled <- t.compensation_cancelled + 1;
+      tm_compensation t "cancelled" None
     end
     else if Psn.gt psn bepsn && Spray.same_path ~a:psn ~b:bepsn ~paths:t.paths
     then begin
@@ -62,6 +85,10 @@ let check_compensation t (entry : Flow_table.entry) conn sport psn =
          Generate the NACK the RNIC can no longer produce. *)
       entry.Flow_table.valid <- false;
       t.compensation_sent <- t.compensation_sent + 1;
+      tm_compensation t "sent"
+        (Some
+           (Event.Nack_compensated
+              { node = t.node; conn; epsn = Psn.to_int bepsn }));
       t.inject_nack ~conn ~sport ~epsn:bepsn
     end
   end
@@ -86,14 +113,38 @@ let on_nack t (pkt : Packet.t) =
       | None ->
           (* Cannot identify the trigger: err on the side of recovery. *)
           t.nacks_forwarded_underflow <- t.nacks_forwarded_underflow + 1;
+          tm_verdict t "underflow"
+            (Event.Nack_passed
+               {
+                 node = t.node;
+                 conn = pkt.Packet.conn;
+                 epsn = Psn.to_int epsn;
+                 underflow = true;
+               });
           Forward
       | Some tpsn ->
           if Spray.nack_is_valid ~tpsn ~epsn ~paths:t.paths then begin
             t.nacks_forwarded_valid <- t.nacks_forwarded_valid + 1;
+            tm_verdict t "valid"
+              (Event.Nack_passed
+                 {
+                   node = t.node;
+                   conn = pkt.Packet.conn;
+                   epsn = Psn.to_int epsn;
+                   underflow = false;
+                 });
             Forward
           end
           else begin
             t.nacks_blocked <- t.nacks_blocked + 1;
+            tm_verdict t "blocked"
+              (Event.Nack_blocked
+                 {
+                   node = t.node;
+                   conn = pkt.Packet.conn;
+                   epsn = Psn.to_int epsn;
+                   tpsn = Psn.to_int tpsn;
+                 });
             if t.compensation then
               if Psn_queue.contains entry.Flow_table.queue epsn then begin
                 (* The expected packet already passed the ToR while this
@@ -101,7 +152,8 @@ let on_nack t (pkt : Packet.t) =
                    hop right now, so nothing was lost and no compensation
                    may ever fire for it. *)
                 entry.Flow_table.valid <- false;
-                t.compensation_cancelled <- t.compensation_cancelled + 1
+                t.compensation_cancelled <- t.compensation_cancelled + 1;
+                tm_compensation t "cancelled" None
               end
               else begin
                 entry.Flow_table.bepsn <- epsn;

@@ -41,12 +41,17 @@ val create :
   paths:int ->
   queue_capacity:int ->
   ?compensation:bool ->
+  ?node:int ->
+  ?clock:(unit -> Sim_time.t) ->
   inject_nack:(conn:Flow_id.t -> sport:int -> epsn:Psn.t -> unit) ->
   unit ->
   t
 (** [compensation] defaults to [true]; disabling it is the ABL ablation.
     [inject_nack] must put a NACK for [conn] on the path back to the
-    sender. *)
+    sender.  [node] (the owning ToR id) and [clock] only feed telemetry:
+    when the telemetry context is enabled, every NACK verdict and
+    compensation action is recorded as a typed event timestamped with
+    [clock ()] (defaults: [-1] and a clock stuck at zero). *)
 
 val paths : t -> int
 

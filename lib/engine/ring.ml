@@ -1,0 +1,47 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int;  (* index of the next write *)
+  mutable len : int;  (* live entries, <= capacity *)
+  mutable dropped : int;  (* overwritten entries since creation/clear *)
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; head = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.len
+let dropped t = t.dropped
+let is_empty t = t.len = 0
+
+let push t v =
+  let cap = Array.length t.slots in
+  if t.len = cap then t.dropped <- t.dropped + 1 else t.len <- t.len + 1;
+  t.slots.(t.head) <- Some v;
+  t.head <- if t.head + 1 = cap then 0 else t.head + 1
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.head <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+(* Oldest entry first. *)
+let iter t f =
+  let cap = Array.length t.slots in
+  let start = (t.head - t.len + cap) mod cap in
+  for i = 0 to t.len - 1 do
+    match t.slots.((start + i) mod cap) with
+    | Some v -> f v
+    | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter t (fun v -> acc := v :: !acc);
+  List.rev !acc
+
+let fold t ~init f =
+  let acc = ref init in
+  iter t (fun v -> acc := f !acc v);
+  !acc

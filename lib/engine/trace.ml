@@ -1,21 +1,28 @@
 type sink = Silent | Print | Retain
 
+let default_capacity = 1 lsl 16
+
 let current = ref Silent
-let events : (Sim_time.t * string * string) list ref = ref []
+let events : (Sim_time.t * string * string) Ring.t ref =
+  ref (Ring.create ~capacity:default_capacity)
 
 let set_sink s = current := s
 let sink () = !current
 let enabled () = !current <> Silent
 
+let set_capacity n = events := Ring.create ~capacity:n
+let capacity () = Ring.capacity !events
+let dropped () = Ring.dropped !events
+
 let emit ~time ~cat msg =
   match !current with
   | Silent -> ()
   | Print -> Format.printf "[%a] %-10s %s@." Sim_time.pp time cat msg
-  | Retain -> events := (time, cat, msg) :: !events
+  | Retain -> Ring.push !events (time, cat, msg)
 
 let emitf ~time ~cat fmt =
   if !current = Silent then Format.ifprintf Format.std_formatter fmt
   else Format.kasprintf (fun msg -> emit ~time ~cat msg) fmt
 
-let retained () = List.rev !events
-let clear () = events := []
+let retained () = Ring.to_list !events
+let clear () = Ring.clear !events

@@ -12,6 +12,17 @@ val sink : unit -> sink
 
 val enabled : unit -> bool
 
+val set_capacity : int -> unit
+(** Replace the retained ring with an empty one of the given capacity.
+    The default capacity is 65536 events; once full, the oldest events
+    are overwritten (see {!dropped}). *)
+
+val capacity : unit -> int
+
+val dropped : unit -> int
+(** Retained events lost to overwriting since the last [clear] /
+    [set_capacity]. *)
+
 val emit : time:Sim_time.t -> cat:string -> string -> unit
 (** [emit ~time ~cat msg] records one event.  [cat] is a short category tag
     such as ["themis-d"] or ["rnic"]. *)
@@ -22,6 +33,7 @@ val emitf :
     is off. *)
 
 val retained : unit -> (Sim_time.t * string * string) list
-(** Events recorded under [Retain], oldest first. *)
+(** Events recorded under [Retain], oldest first.  At most {!capacity}
+    events are kept; older ones are dropped. *)
 
 val clear : unit -> unit

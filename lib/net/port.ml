@@ -46,6 +46,26 @@ let create ~engine ~bandwidth ~delay ~label =
     jitter = None;
   }
 
+(* Telemetry: one Packet_drop event per discarded packet, tagged with the
+   port's label so drops are attributable to a link direction. *)
+let record_drop t (pkt : Packet.t) reason =
+  if Telemetry.enabled () then begin
+    Telemetry.incr_counter
+      ~labels:[ ("port", t.label) ]
+      "port_dropped_packets";
+    Telemetry.record ~time:(Engine.now t.engine)
+      (Event.Packet_drop
+         {
+           loc = t.label;
+           conn = pkt.Packet.conn;
+           psn =
+             (match pkt.Packet.kind with
+             | Packet.Data { psn; _ } -> Psn.to_int psn
+             | Packet.Ack _ | Packet.Nack _ | Packet.Cnp | Packet.Pause _ -> -1);
+           reason;
+         })
+  end
+
 let set_deliver t f = t.deliver <- f
 let set_jitter t ~rng ~max = t.jitter <- Some (rng, max)
 let set_on_dequeue t f = t.on_dequeue <- f
@@ -86,7 +106,10 @@ let rec start_tx t =
                    (Engine.schedule t.engine ~delay:(t.delay + extra)
                       (fun () -> if t.up then t.deliver pkt))
                end
-               else t.dropped <- t.dropped + 1;
+               else begin
+                 t.dropped <- t.dropped + 1;
+                 record_drop t pkt Event.Link_down
+               end;
                start_tx t))
 
 let inject_drops t n = t.inject_drops <- t.inject_drops + n
@@ -94,11 +117,13 @@ let inject_drops t n = t.inject_drops <- t.inject_drops + n
 let enqueue t pkt =
   if not t.up then begin
     t.dropped <- t.dropped + 1;
+    record_drop t pkt Event.Link_down;
     t.on_discard pkt
   end
   else if Packet.is_data pkt && t.inject_drops > 0 then begin
     t.inject_drops <- t.inject_drops - 1;
     t.dropped <- t.dropped + 1;
+    record_drop t pkt Event.Injected;
     t.on_discard pkt
   end
   else begin
@@ -128,6 +153,7 @@ let flush_discard t q =
   Queue.iter
     (fun pkt ->
       t.dropped <- t.dropped + 1;
+      record_drop t pkt Event.Link_down;
       t.on_discard pkt)
     q;
   Queue.clear q

@@ -36,6 +36,7 @@ let with_ti_td cfg ~ti_us ~td_us =
 
 type t = {
   engine : Engine.t;
+  conn : Flow_id.t option;  (* telemetry label only *)
   cfg : config;
   line_rate : Rate.t;
   mutable rc : Rate.t;
@@ -50,9 +51,10 @@ type t = {
   mutable decreases : int;
 }
 
-let create ~engine ~config ~line_rate =
+let create ~engine ?conn ~config ~line_rate () =
   {
     engine;
+    conn;
     cfg = config;
     line_rate;
     rc = line_rate;
@@ -123,6 +125,22 @@ and reschedule_alpha t =
       (Engine.schedule t.engine ~delay:t.cfg.alpha_timer (fun () ->
            alpha_decay t))
 
+let tm_decrease t cause =
+  if Telemetry.enabled () then begin
+    let label =
+      match cause with
+      | Event.Cnp -> "cnp"
+      | Event.Nack -> "nack"
+      | Event.Timeout -> "timeout"
+    in
+    Telemetry.incr_counter ~labels:[ ("cause", label) ] "dcqcn_rate_decreases";
+    match t.conn with
+    | None -> ()
+    | Some conn ->
+        Telemetry.record ~time:(Engine.now t.engine)
+          (Event.Rate_change { conn; gbps = Rate.to_gbps t.rc; cause })
+  end
+
 let decrease ?(gate = `Td) t ~factor =
   let now = Engine.now t.engine in
   let gate_ok =
@@ -143,6 +161,7 @@ let decrease ?(gate = `Td) t ~factor =
     t.rc <- Rate.scale t.rc factor;
     t.stage <- 0;
     t.bytes_acc <- 0;
+    tm_decrease t (match gate with `Td -> Event.Cnp | `Nack -> Event.Nack);
     reschedule_increase t;
     reschedule_alpha t
   end
@@ -159,6 +178,7 @@ let on_timeout t =
   t.rc <- Rate.min_rate;
   t.stage <- 0;
   t.bytes_acc <- 0;
+  tm_decrease t Event.Timeout;
   reschedule_increase t;
   reschedule_alpha t
 

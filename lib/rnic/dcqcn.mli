@@ -52,7 +52,12 @@ val with_ti_td : config -> ti_us:float -> td_us:float -> config
 
 type t
 
-val create : engine:Engine.t -> config:config -> line_rate:Rate.t -> t
+val create :
+  engine:Engine.t -> ?conn:Flow_id.t -> config:config -> line_rate:Rate.t ->
+  unit -> t
+(** [conn] only labels telemetry events: when given and the telemetry
+    context is enabled, every rate decrease is recorded as a typed
+    [Rate_change] event for that connection. *)
 
 val rate : t -> Rate.t
 val target : t -> Rate.t

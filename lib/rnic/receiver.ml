@@ -51,6 +51,7 @@ let send_nack_once t =
   if not t.nacked_current then begin
     t.nacked_current <- true;
     t.nacks_sent <- t.nacks_sent + 1;
+    if Telemetry.enabled () then Telemetry.incr_counter "nacks_generated";
     t.actions.send_nack ~epsn:t.epsn
   end
 
@@ -86,6 +87,7 @@ let on_data t ~seq ~payload ~last_of_msg =
     (* Duplicate of an already-delivered sequence: re-ACK so a sender whose
        ACKs were lost can advance. *)
     t.dups <- t.dups + 1;
+    if Telemetry.enabled () then Telemetry.incr_counter "duplicate_packets";
     flush_ack t
   end
   else begin

@@ -120,6 +120,7 @@ let maybe_cnp t (ctx : rctx) =
     ctx.last_cnp <- now;
     ctx.cnps_tx <- ctx.cnps_tx + 1;
     t.cnps_sent <- t.cnps_sent + 1;
+    if Telemetry.enabled () then Telemetry.incr_counter "cnps_sent";
     transmit_control t
       (Packet.cnp ~conn:ctx.r_conn ~sport:ctx.r_sport ~birth:now)
   end

@@ -12,6 +12,7 @@ type msg = {
   start : int;
   packets : int;
   bytes : int;
+  posted : Sim_time.t;  (* when the WQE was posted, for FCT telemetry *)
   on_complete : Sim_time.t -> unit;
 }
 
@@ -47,7 +48,7 @@ let create ~engine ~conn ~sport ~config ~line_rate ~transmit =
     conn;
     sport;
     cfg = config;
-    cc = Dcqcn.create ~engine ~config:config.cc ~line_rate;
+    cc = Dcqcn.create ~engine ~conn ~config:config.cc ~line_rate ();
     transmit;
     msgs = Queue.create ();
     next_seq = 0;
@@ -113,6 +114,11 @@ and on_rto t =
   t.rto_handle <- None;
   if t.una < t.next_seq then begin
     t.timeouts <- t.timeouts + 1;
+    if Telemetry.enabled () then begin
+      Telemetry.incr_counter "rto_timeouts";
+      Telemetry.record ~time:(Engine.now t.engine)
+        (Event.Rto_timeout { conn = t.conn; una = t.una })
+    end;
     (match t.cfg.mode with
     | Sr_retx ->
         if not (Hashtbl.mem t.retx_pending t.una) then begin
@@ -166,6 +172,14 @@ and try_send t =
         in
         t.data_sent <- t.data_sent + 1;
         if is_retx then t.retx_sent <- t.retx_sent + 1;
+        if Telemetry.enabled () then begin
+          Telemetry.incr_counter "data_packets_sent";
+          if is_retx then begin
+            Telemetry.incr_counter "retx_packets";
+            Telemetry.record ~time:(Engine.now t.engine)
+              (Event.Retransmission { conn = t.conn; psn = seq })
+          end
+        end;
         Dcqcn.on_bytes_sent t.cc pkt.Packet.size;
         if t.rto_handle = None then arm_rto t;
         t.transmit pkt;
@@ -182,7 +196,10 @@ and try_send t =
 let post t ~bytes ~on_complete =
   if bytes <= 0 then invalid_arg "Sender.post: bytes must be positive";
   let packets = (bytes + t.cfg.mtu - 1) / t.cfg.mtu in
-  Queue.add { start = t.end_seq; packets; bytes; on_complete } t.msgs;
+  Queue.add
+    { start = t.end_seq; packets; bytes; posted = Engine.now t.engine;
+      on_complete }
+    t.msgs;
   t.end_seq <- t.end_seq + packets;
   try_send t
 
@@ -192,7 +209,15 @@ let complete_msgs t =
     | Some m when t.una >= m.start + m.packets ->
         ignore (Queue.pop t.msgs);
         t.bytes_completed <- t.bytes_completed + m.bytes;
-        m.on_complete (Engine.now t.engine);
+        let now = Engine.now t.engine in
+        if Telemetry.enabled () then begin
+          let fct_us = Sim_time.to_us (now - m.posted) in
+          Telemetry.incr_counter "flows_completed";
+          Telemetry.observe "fct_us" fct_us;
+          Telemetry.record ~time:now
+            (Event.Flow_complete { conn = t.conn; bytes = m.bytes; fct_us })
+        end;
+        m.on_complete now;
         loop ()
     | Some _ | None -> ()
   in

@@ -1,11 +1,69 @@
 type series = (float * float) list
 
+(* --- Telemetry read-out ------------------------------------------------ *)
+
+type telemetry_summary = {
+  tele_data_packets : int;
+  tele_retx_packets : int;
+  tele_nacks_generated : int;
+  tele_nacks_valid : int;
+  tele_nacks_blocked : int;
+  tele_nacks_underflow : int;
+  tele_comp_sent : int;
+  tele_comp_cancelled : int;
+  tele_flows_completed : int;
+  tele_fct_p50_us : float;
+  tele_fct_p99_us : float;
+  tele_ecn_marks : int;
+  tele_buffer_drops : int;
+  tele_events : int;
+  tele_events_dropped : int;
+}
+
+let telemetry_summary () =
+  match Telemetry.ctx () with
+  | None -> None
+  | Some ctx ->
+      let m = Telemetry.metrics_exn () in
+      let nacks v = Metrics.counter_value m ~labels:[ ("verdict", v) ] "themis_nacks" in
+      let comp a =
+        Metrics.counter_value m ~labels:[ ("action", a) ] "themis_compensation"
+      in
+      let fct p =
+        match Metrics.histogram_total m "fct_us" with
+        | Some h -> Histogram.percentile h p
+        | None -> 0.
+      in
+      Some
+        {
+          tele_data_packets = Metrics.counter_total m "data_packets_sent";
+          tele_retx_packets = Metrics.counter_total m "retx_packets";
+          tele_nacks_generated = Metrics.counter_total m "nacks_generated";
+          tele_nacks_valid = nacks "valid";
+          tele_nacks_blocked = nacks "blocked";
+          tele_nacks_underflow = nacks "underflow";
+          tele_comp_sent = comp "sent";
+          tele_comp_cancelled = comp "cancelled";
+          tele_flows_completed = Metrics.counter_total m "flows_completed";
+          tele_fct_p50_us = fct 0.5;
+          tele_fct_p99_us = fct 0.99;
+          tele_ecn_marks = Metrics.counter_total m "ecn_marks";
+          tele_buffer_drops = Metrics.counter_total m "switch_dropped_packets";
+          tele_events =
+            List.fold_left
+              (fun acc (_, n) -> acc + n)
+              0
+              (Telemetry.events_by_kind ctx);
+          tele_events_dropped = Telemetry.events_dropped ctx;
+        }
+
 type motivation_config = {
   msg_bytes : int;
   transport : Rnic.transport;
   scheme : Network.scheme;
   bucket : Sim_time.t;
   seed : int;
+  telemetry : bool;
 }
 
 let default_motivation =
@@ -15,6 +73,7 @@ let default_motivation =
     scheme = Network.Random_spray;
     bucket = Sim_time.us 20;
     seed = 7;
+    telemetry = false;
   }
 
 type motivation_result = {
@@ -26,6 +85,8 @@ type motivation_result = {
   flows : int;
   completion_us : float;
   nacks_generated : int;
+  motivation_themis : Network.themis_totals option;
+  telemetry : telemetry_summary option;
 }
 
 let run_motivation (cfg : motivation_config) =
@@ -42,6 +103,7 @@ let run_motivation (cfg : motivation_config) =
       Network.nic =
         { base.Network.nic with Rnic.transport = cfg.transport; cc };
       seed = cfg.seed;
+      telemetry = cfg.telemetry;
     }
   in
   let net = Network.build params in
@@ -152,6 +214,8 @@ let run_motivation (cfg : motivation_config) =
     flows;
     completion_us;
     nacks_generated = Network.total_nacks_generated net;
+    motivation_themis = Network.themis_totals net;
+    telemetry = (if cfg.telemetry then telemetry_summary () else None);
   }
 
 (* --- Figure 5: collectives under DCQCN parameter sweep ---------------- *)

@@ -7,6 +7,34 @@
 type series = (float * float) list
 (** [(time_us, value)] points. *)
 
+(** {1 Telemetry read-out}
+
+    Aggregates pulled from the current global {!Telemetry} context after a
+    run.  The counters must agree with the simulator's own aggregates
+    ({!Network.total_retx_packets}, {!Network.themis_totals}, ...) — the
+    agreement is asserted by [test/test_telemetry.ml]. *)
+
+type telemetry_summary = {
+  tele_data_packets : int;
+  tele_retx_packets : int;
+  tele_nacks_generated : int;
+  tele_nacks_valid : int;  (** Themis-D verdict "valid" (forwarded). *)
+  tele_nacks_blocked : int;
+  tele_nacks_underflow : int;  (** Forwarded for safety (ring drained). *)
+  tele_comp_sent : int;
+  tele_comp_cancelled : int;
+  tele_flows_completed : int;
+  tele_fct_p50_us : float;
+  tele_fct_p99_us : float;
+  tele_ecn_marks : int;
+  tele_buffer_drops : int;
+  tele_events : int;  (** Typed events recorded (including overwritten). *)
+  tele_events_dropped : int;  (** Overwritten by the bounded ring. *)
+}
+
+val telemetry_summary : unit -> telemetry_summary option
+(** [None] when no telemetry context is enabled. *)
+
 (** {1 Motivation experiment (Section 2.2, Figure 1)}
 
     Fig. 1a fabric: 2 ToRs x 4 spines, 8 hosts, 100 Gbps.  Two interleaved
@@ -21,6 +49,7 @@ type motivation_config = {
   scheme : Network.scheme;
   bucket : Sim_time.t;  (** Series bucket width. *)
   seed : int;
+  telemetry : bool;  (** Enable the typed-telemetry context for the run. *)
 }
 
 val default_motivation : motivation_config
@@ -36,6 +65,8 @@ type motivation_result = {
   flows : int;
   completion_us : float;
   nacks_generated : int;
+  motivation_themis : Network.themis_totals option;
+  telemetry : telemetry_summary option;
 }
 
 val run_motivation : motivation_config -> motivation_result

@@ -33,6 +33,10 @@ type params = {
   queue_factor : float;
   last_hop_jitter : Sim_time.t;
   seed : int;
+  telemetry : bool;
+      (** Install a fresh global {!Telemetry} context in {!build} and run a
+          periodic {!Sampler} over port queues and QP in-flight bytes. *)
+  telemetry_interval : Sim_time.t;  (** Sampler cadence. *)
 }
 
 let default_params ~fabric ~scheme =
@@ -47,6 +51,8 @@ let default_params ~fabric ~scheme =
     queue_factor = 1.5;
     last_hop_jitter = Sim_time.zero;
     seed = 42;
+    telemetry = false;
+    telemetry_interval = Sim_time.us 20;
   }
 
 type t = {
@@ -60,6 +66,7 @@ type t = {
   mutable themis_ds : Themis_d.t list;
   mutable themis_ss : Themis_s.t list;
   mutable themis_active : bool;
+  sampler : Sampler.t option;
 }
 
 let lb_of_scheme = function
@@ -84,6 +91,7 @@ let last_hop_rtt (p : params) =
 
 let build (params : params) =
   let engine = Engine.create () in
+  if params.telemetry then ignore (Telemetry.enable ());
   let fabric = Leaf_spine.build params.fabric in
   let topo = fabric.Leaf_spine.topo in
   let routing = Routing.compute topo in
@@ -131,6 +139,10 @@ let build (params : params) =
       themis_ds = [];
       themis_ss = [];
       themis_active = false;
+      sampler =
+        (if params.telemetry then
+           Some (Sampler.create ~engine ~interval:params.telemetry_interval)
+         else None);
     }
   in
   (* Themis middleware on every ToR. *)
@@ -150,7 +162,8 @@ let build (params : params) =
             Themis_s.create ~paths ~mode:Themis_s.Direct_egress
           in
           let themis_d =
-            Themis_d.create ~paths ~queue_capacity ~compensation
+            Themis_d.create ~paths ~queue_capacity ~compensation ~node:leaf
+              ~clock:(fun () -> Engine.now engine)
               ~inject_nack:(fun ~conn ~sport ~epsn ->
                 let pkt =
                   Packet.nack ~conn ~sport ~epsn ~birth:(Engine.now engine)
@@ -205,10 +218,25 @@ let build (params : params) =
       | Some ports -> Switch.set_upstream_ports sw ports
       | None -> ())
     switches;
+  (match t.sampler with
+  | None -> ()
+  | Some s ->
+      Hashtbl.iter
+        (fun _link_id (pab, pba) ->
+          List.iter
+            (fun p ->
+              Sampler.add_probe s ~name:"port_queue_bytes"
+                ~labels:[ ("port", Port.label p) ]
+                ~histogram:"port_queue_bytes_dist" (fun () ->
+                  float_of_int (Port.queue_bytes p)))
+            [ pab; pba ])
+        link_ports;
+      Sampler.start s);
   t
 
 let engine t = t.engine
 let params t = t.params
+let sampler t = t.sampler
 let fabric t = t.fabric
 let routing t = t.routing
 let nic t ~host = t.nics.(host)
@@ -227,6 +255,16 @@ let connect t ~src ~dst =
   (match Switch.themis_d (Hashtbl.find t.switches dst_tor) with
   | Some d -> Themis_d.register_flow d (Rnic.qp_conn qp)
   | None -> ());
+  (match t.sampler with
+  | None -> ()
+  | Some s ->
+      let sender = Rnic.qp_sender qp in
+      let mtu = t.params.nic.Rnic.mtu in
+      Sampler.add_probe s ~name:"qp_inflight_bytes"
+        ~labels:
+          [ ("conn", Format.asprintf "%a" Flow_id.pp (Rnic.qp_conn qp)) ]
+        ~histogram:"qp_inflight_bytes_dist" (fun () ->
+          float_of_int (Sender.outstanding sender * mtu)));
   qp
 
 let run ?until t = Engine.run ?until t.engine
@@ -251,6 +289,11 @@ let live_spine_count t =
 
 let fail_link ?(mode = `Fallback_ecmp) t ~link_id =
   Topology.set_link_up t.fabric.Leaf_spine.topo ~link_id false;
+  if Telemetry.enabled () then begin
+    Telemetry.incr_counter "link_failures";
+    Telemetry.record ~time:(Engine.now t.engine)
+      (Event.Link_failure { link_id })
+  end;
   (match Hashtbl.find_opt t.link_ports link_id with
   | Some (pab, pba) ->
       Port.set_up pab false;

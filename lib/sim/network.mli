@@ -29,6 +29,10 @@ type params = {
           (ACKs, NACKs, CNPs and host data entering the fabric): the RTT
           fluctuation Section 4's expansion factor F provisions for. *)
   seed : int;
+  telemetry : bool;
+      (** Install a fresh global {!Telemetry} context in {!build} and run a
+          periodic {!Sampler} over port queues and QP in-flight bytes. *)
+  telemetry_interval : Sim_time.t;  (** Sampler cadence (default 20 us). *)
 }
 
 val default_params : fabric:Leaf_spine.params -> scheme:scheme -> params
@@ -43,6 +47,10 @@ val build : params -> t
 
 val engine : t -> Engine.t
 val params : t -> params
+
+val sampler : t -> Sampler.t option
+(** The periodic telemetry sampler, when [params.telemetry] was set. *)
+
 val fabric : t -> Leaf_spine.t
 val routing : t -> Routing.t
 val nic : t -> host:int -> Rnic.t

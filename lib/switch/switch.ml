@@ -71,6 +71,24 @@ let create ~engine ~topo ~routing ~node ~config ~rng =
 let node_id t = t.node
 let config t = t.cfg
 
+let record_drop t (pkt : Packet.t) reason =
+  if Telemetry.enabled () then begin
+    Telemetry.incr_counter
+      ~labels:[ ("node", string_of_int t.node) ]
+      "switch_dropped_packets";
+    Telemetry.record ~time:(Engine.now t.engine)
+      (Event.Packet_drop
+         {
+           loc = Printf.sprintf "sw%d" t.node;
+           conn = pkt.Packet.conn;
+           psn =
+             (match pkt.Packet.kind with
+             | Packet.Data { psn; _ } -> Psn.to_int psn
+             | Packet.Ack _ | Packet.Nack _ | Packet.Cnp | Packet.Pause _ -> -1);
+           reason;
+         })
+  end
+
 (* Defined below; PFC state must react to buffer release too. *)
 let rec pfc_update t =
   match t.cfg.pfc with
@@ -144,7 +162,17 @@ let enqueue_on t port (pkt : Packet.t) =
           && Ecn.should_mark ecn_cfg t.rng ~queue_bytes:(Port.queue_bytes port)
         then begin
           pkt.Packet.ecn <- Headers.Ce;
-          t.ecn_marked <- t.ecn_marked + 1
+          t.ecn_marked <- t.ecn_marked + 1;
+          if Telemetry.enabled () then begin
+            Telemetry.incr_counter "ecn_marks";
+            Telemetry.record ~time:(Engine.now t.engine)
+              (Event.Ecn_mark
+                 {
+                   node = t.node;
+                   conn = pkt.Packet.conn;
+                   queue_bytes = Port.queue_bytes port;
+                 })
+          end
         end
     | (Some _ | None), _ -> ());
     t.forwarded <- t.forwarded + 1;
@@ -153,6 +181,7 @@ let enqueue_on t port (pkt : Packet.t) =
   end
   else begin
     t.dropped_buffer <- t.dropped_buffer + 1;
+    record_drop t pkt Event.Buffer_full;
     if Trace.enabled () then
       Trace.emitf ~time:(Engine.now t.engine) ~cat:"switch"
         "node%d buffer-dropped %a" t.node Packet.pp pkt
@@ -161,7 +190,10 @@ let enqueue_on t port (pkt : Packet.t) =
 let forward t (pkt : Packet.t) =
   let cands = candidates t pkt in
   let n = Array.length cands in
-  if n = 0 then t.dropped_unreachable <- t.dropped_unreachable + 1
+  if n = 0 then begin
+    t.dropped_unreachable <- t.dropped_unreachable + 1;
+    record_drop t pkt Event.Unreachable
+  end
   else begin
     let idx =
       if n = 1 then 0
@@ -193,7 +225,9 @@ let forward t (pkt : Packet.t) =
     in
     let _, link_id = cands.(idx) in
     match Hashtbl.find_opt t.ports link_id with
-    | None -> t.dropped_unreachable <- t.dropped_unreachable + 1
+    | None ->
+        t.dropped_unreachable <- t.dropped_unreachable + 1;
+        record_drop t pkt Event.Unreachable
     | Some (port, _) -> enqueue_on t port pkt
   end
 

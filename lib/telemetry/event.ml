@@ -1,0 +1,181 @@
+(* Typed data-plane events.
+
+   One constructor per observable decision the paper's evaluation cares
+   about; hot paths construct these only when telemetry is enabled, so
+   the disabled cost is a single branch. *)
+
+type drop_reason = Buffer_full | Link_down | Unreachable | Injected
+
+let drop_reason_to_string = function
+  | Buffer_full -> "buffer-full"
+  | Link_down -> "link-down"
+  | Unreachable -> "unreachable"
+  | Injected -> "injected"
+
+type rate_cause = Cnp | Nack | Timeout
+
+let rate_cause_to_string = function
+  | Cnp -> "cnp"
+  | Nack -> "nack"
+  | Timeout -> "timeout"
+
+type t =
+  | Packet_drop of {
+      loc : string;  (* port label or "sw<node>" *)
+      conn : Flow_id.t;
+      psn : int;  (* -1 for control packets *)
+      reason : drop_reason;
+    }
+  | Nack_blocked of { node : int; conn : Flow_id.t; epsn : int; tpsn : int }
+  | Nack_passed of {
+      node : int;
+      conn : Flow_id.t;
+      epsn : int;
+      underflow : bool;  (* forwarded because the ring could not name a tPSN *)
+    }
+  | Nack_compensated of { node : int; conn : Flow_id.t; epsn : int }
+  | Retransmission of { conn : Flow_id.t; psn : int }
+  | Rto_timeout of { conn : Flow_id.t; una : int }
+  | Rate_change of { conn : Flow_id.t; gbps : float; cause : rate_cause }
+  | Ecn_mark of { node : int; conn : Flow_id.t; queue_bytes : int }
+  | Link_failure of { link_id : int }
+  | Flow_complete of { conn : Flow_id.t; bytes : int; fct_us : float }
+
+let kinds = 10
+
+let kind_index = function
+  | Packet_drop _ -> 0
+  | Nack_blocked _ -> 1
+  | Nack_passed _ -> 2
+  | Nack_compensated _ -> 3
+  | Retransmission _ -> 4
+  | Rto_timeout _ -> 5
+  | Rate_change _ -> 6
+  | Ecn_mark _ -> 7
+  | Link_failure _ -> 8
+  | Flow_complete _ -> 9
+
+let kind_name_of_index = function
+  | 0 -> "packet_drop"
+  | 1 -> "nack_blocked"
+  | 2 -> "nack_passed"
+  | 3 -> "nack_compensated"
+  | 4 -> "retransmission"
+  | 5 -> "rto_timeout"
+  | 6 -> "rate_change"
+  | 7 -> "ecn_mark"
+  | 8 -> "link_failure"
+  | 9 -> "flow_complete"
+  | _ -> invalid_arg "Event.kind_name_of_index"
+
+let kind_name t = kind_name_of_index (kind_index t)
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+type field = S of string | I of int | F of float | B of bool
+
+let fields = function
+  | Packet_drop { loc; conn; psn; reason } ->
+      [
+        ("loc", S loc);
+        ("conn", S (Format.asprintf "%a" Flow_id.pp conn));
+        ("psn", I psn);
+        ("reason", S (drop_reason_to_string reason));
+      ]
+  | Nack_blocked { node; conn; epsn; tpsn } ->
+      [
+        ("node", I node);
+        ("conn", S (Format.asprintf "%a" Flow_id.pp conn));
+        ("epsn", I epsn);
+        ("tpsn", I tpsn);
+      ]
+  | Nack_passed { node; conn; epsn; underflow } ->
+      [
+        ("node", I node);
+        ("conn", S (Format.asprintf "%a" Flow_id.pp conn));
+        ("epsn", I epsn);
+        ("underflow", B underflow);
+      ]
+  | Nack_compensated { node; conn; epsn } ->
+      [
+        ("node", I node);
+        ("conn", S (Format.asprintf "%a" Flow_id.pp conn));
+        ("epsn", I epsn);
+      ]
+  | Retransmission { conn; psn } ->
+      [ ("conn", S (Format.asprintf "%a" Flow_id.pp conn)); ("psn", I psn) ]
+  | Rto_timeout { conn; una } ->
+      [ ("conn", S (Format.asprintf "%a" Flow_id.pp conn)); ("una", I una) ]
+  | Rate_change { conn; gbps; cause } ->
+      [
+        ("conn", S (Format.asprintf "%a" Flow_id.pp conn));
+        ("gbps", F gbps);
+        ("cause", S (rate_cause_to_string cause));
+      ]
+  | Ecn_mark { node; conn; queue_bytes } ->
+      [
+        ("node", I node);
+        ("conn", S (Format.asprintf "%a" Flow_id.pp conn));
+        ("queue_bytes", I queue_bytes);
+      ]
+  | Link_failure { link_id } -> [ ("link_id", I link_id) ]
+  | Flow_complete { conn; bytes; fct_us } ->
+      [
+        ("conn", S (Format.asprintf "%a" Flow_id.pp conn));
+        ("bytes", I bytes);
+        ("fct_us", F fct_us);
+      ]
+
+let add_json_field buf (k, v) =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf k;
+  Buffer.add_string buf "\":";
+  match v with
+  | S s ->
+      Buffer.add_char buf '"';
+      Buffer.add_string buf (json_escape s);
+      Buffer.add_char buf '"'
+  | I i -> Buffer.add_string buf (string_of_int i)
+  | F f -> Buffer.add_string buf (Printf.sprintf "%g" f)
+  | B b -> Buffer.add_string buf (if b then "true" else "false")
+
+let to_json ~time t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "{\"t_ns\":";
+  Buffer.add_string buf (string_of_int time);
+  Buffer.add_string buf ",\"kind\":\"";
+  Buffer.add_string buf (kind_name t);
+  Buffer.add_char buf '"';
+  List.iter
+    (fun f ->
+      Buffer.add_char buf ',';
+      add_json_field buf f)
+    (fields t);
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "%s" (kind_name t);
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | S s -> Format.fprintf ppf " %s=%s" k s
+      | I i -> Format.fprintf ppf " %s=%d" k i
+      | F f -> Format.fprintf ppf " %s=%g" k f
+      | B b -> Format.fprintf ppf " %s=%b" k b)
+    (fields t)

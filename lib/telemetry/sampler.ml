@@ -1,0 +1,72 @@
+(* Engine-driven periodic sampler.
+
+   Each probe is a closure read once per tick; samples accumulate in a
+   per-probe growable series and, when a histogram name is given, also
+   feed an aggregated histogram in the current registry (e.g. the p99
+   of every port's queue depth over the whole run).
+
+   The tick reschedules itself only while the engine still has other
+   pending work, so a finished simulation drains naturally instead of
+   being kept alive by its own instrumentation. *)
+
+type probe = {
+  name : string;
+  labels : Metrics.labels;
+  read : unit -> float;
+  histogram : string option;
+  series : (Sim_time.t * float) Vec.t;
+}
+
+type t = {
+  engine : Engine.t;
+  interval : Sim_time.t;
+  mutable probes : probe list;  (* newest first *)
+  mutable ticks : int;
+  mutable started : bool;
+}
+
+let create ~engine ~interval =
+  if interval <= 0 then invalid_arg "Sampler.create: interval must be positive";
+  { engine; interval; probes = []; ticks = 0; started = false }
+
+let interval t = t.interval
+let ticks t = t.ticks
+
+let add_probe t ?(labels = []) ?histogram ~name read =
+  t.probes <-
+    { name; labels; read; histogram; series = Vec.create () } :: t.probes
+
+let sample_once t =
+  t.ticks <- t.ticks + 1;
+  let now = Engine.now t.engine in
+  List.iter
+    (fun p ->
+      let v = p.read () in
+      ignore (Vec.push p.series (now, v));
+      (match p.histogram with
+      | Some h -> Telemetry.observe ~labels:p.labels h v
+      | None -> ());
+      match Telemetry.metrics () with
+      | Some m -> Metrics.set (Metrics.gauge m ~labels:p.labels p.name) v
+      | None -> ())
+    t.probes
+
+let rec tick t =
+  sample_once t;
+  (* Only instrumentation left in the queue: let the run end. *)
+  if Engine.pending t.engine > 0 then schedule t
+
+and schedule t =
+  ignore (Engine.schedule t.engine ~delay:t.interval (fun () -> tick t))
+
+let start t =
+  if not t.started then begin
+    t.started <- true;
+    schedule t
+  end
+
+let series t =
+  List.rev_map
+    (fun p ->
+      (p.name, p.labels, Array.init (Vec.length p.series) (Vec.get p.series)))
+    t.probes

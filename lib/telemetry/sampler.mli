@@ -1,0 +1,29 @@
+(** Periodic snapshotting of instantaneous quantities (queue depths,
+    in-flight bytes) into per-probe time series.
+
+    Probes may be added at any time, including after [start].  Each tick
+    also mirrors the latest value into a registry gauge and, when
+    [histogram] is given, feeds the sample into that aggregated
+    histogram of the current telemetry context.
+
+    The sampler stops rescheduling itself once it is the only pending
+    engine work, so it never prevents a run from draining. *)
+
+type t
+
+val create : engine:Engine.t -> interval:Sim_time.t -> t
+val interval : t -> Sim_time.t
+val ticks : t -> int
+
+val add_probe :
+  t -> ?labels:Metrics.labels -> ?histogram:string -> name:string ->
+  (unit -> float) -> unit
+
+val start : t -> unit
+(** Schedule the first tick [interval] from now.  Idempotent. *)
+
+val sample_once : t -> unit
+(** Take one sample immediately (also used by each tick). *)
+
+val series : t -> (string * Metrics.labels * (Sim_time.t * float) array) list
+(** One entry per probe, samples in chronological order. *)

@@ -4,7 +4,7 @@ let line = Rate.gbps 100.
 
 let make ?(cfg = Dcqcn.default) () =
   let engine = Engine.create () in
-  (engine, Dcqcn.create ~engine ~config:cfg ~line_rate:line)
+  (engine, Dcqcn.create ~engine ~config:cfg ~line_rate:line ())
 
 let gbps t = Rate.to_gbps (Dcqcn.rate t)
 

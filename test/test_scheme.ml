@@ -1,0 +1,60 @@
+(* Network.scheme string round-trips: every constructor must survive
+   scheme_of_string (scheme_to_string s), and the CLI aliases must parse. *)
+
+let scheme =
+  Alcotest.testable
+    (fun ppf s -> Format.pp_print_string ppf (Network.scheme_to_string s))
+    ( = )
+
+let all_schemes =
+  [
+    Network.Ecmp;
+    Network.Adaptive;
+    Network.Random_spray;
+    Network.Psn_spray_only;
+    Network.Themis { compensation = true };
+    Network.Themis { compensation = false };
+  ]
+
+let test_roundtrip () =
+  List.iter
+    (fun s ->
+      match Network.scheme_of_string (Network.scheme_to_string s) with
+      | Ok s' ->
+          Alcotest.check scheme (Network.scheme_to_string s) s s'
+      | Error e ->
+          Alcotest.failf "%s did not round-trip: %s"
+            (Network.scheme_to_string s) e)
+    all_schemes
+
+let test_aliases () =
+  (match Network.scheme_of_string "ar" with
+  | Ok s -> Alcotest.check scheme "ar" Network.Adaptive s
+  | Error e -> Alcotest.failf "ar: %s" e);
+  match Network.scheme_of_string "spray" with
+  | Ok s -> Alcotest.check scheme "spray" Network.Random_spray s
+  | Error e -> Alcotest.failf "spray: %s" e
+
+let test_unknown_rejected () =
+  match Network.scheme_of_string "warp-drive" with
+  | Ok _ -> Alcotest.fail "nonsense string parsed"
+  | Error _ -> ()
+
+let test_strings_distinct () =
+  let strings = List.map Network.scheme_to_string all_schemes in
+  Alcotest.(check int)
+    "no two schemes share a string"
+    (List.length strings)
+    (List.length (List.sort_uniq String.compare strings))
+
+let () =
+  Alcotest.run "scheme"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "every constructor" `Quick test_roundtrip;
+          Alcotest.test_case "aliases" `Quick test_aliases;
+          Alcotest.test_case "unknown rejected" `Quick test_unknown_rejected;
+          Alcotest.test_case "strings distinct" `Quick test_strings_distinct;
+        ] );
+    ]
