@@ -1,7 +1,7 @@
 # Tooling entry points. `make check` is the CI gate: it must stay green
 # on every commit.
 
-.PHONY: all build test examples micro check clean
+.PHONY: all build test examples micro fuzz-quick fuzz-soak check clean
 
 all: build
 
@@ -21,7 +21,17 @@ examples:
 micro:
 	dune exec bench/main.exe -- micro
 
-check: build test examples micro
+# Randomized fault-injection sweep with invariant oracles (DESIGN.md §8).
+# 200 scenarios x every scheme normally finishes in ~2 s; the wall budget
+# stops generating new scenarios if a slow machine would blow the CI
+# slot, so coverage degrades gracefully instead of timing out.
+fuzz-quick:
+	dune exec bin/themis_fuzz_cli.exe -- quick --specs 200 --budget-s 60
+
+fuzz-soak:
+	dune exec bin/themis_fuzz_cli.exe -- soak
+
+check: build test examples micro fuzz-quick
 	@echo "check: OK"
 
 clean:

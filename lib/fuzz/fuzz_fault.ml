@@ -1,0 +1,69 @@
+type counters = {
+  mutable drops_data : int;
+  mutable drops_ctrl : int;
+  mutable corrupts_data : int;
+  mutable corrupts_ctrl : int;
+  mutable dups_data : int;
+  mutable dups_ctrl : int;
+  mutable delays : int;
+}
+
+let active (spec : Fuzz_spec.t) =
+  spec.Fuzz_spec.drop_ppm > 0
+  || spec.Fuzz_spec.corrupt_ppm > 0
+  || spec.Fuzz_spec.dup_ppm > 0
+  || spec.Fuzz_spec.delay_ppm > 0
+
+let install ~engine ~rng ~(spec : Fuzz_spec.t) ~iter_ports =
+  let c =
+    {
+      drops_data = 0;
+      drops_ctrl = 0;
+      corrupts_data = 0;
+      corrupts_ctrl = 0;
+      dups_data = 0;
+      dups_ctrl = 0;
+      delays = 0;
+    }
+  in
+  if active spec then begin
+    let drop = spec.Fuzz_spec.drop_ppm in
+    let corrupt = spec.Fuzz_spec.corrupt_ppm in
+    let dup = spec.Fuzz_spec.dup_ppm in
+    let delay = spec.Fuzz_spec.delay_ppm in
+    let delay_max = max 1 spec.Fuzz_spec.delay_max_ns in
+    let wrap port =
+      let base = Port.deliver_fn port in
+      Port.set_deliver port (fun pkt ->
+          let data = Packet.is_data pkt in
+          let p = Rng.int rng 1_000_000 in
+          if p < drop then
+            if data then c.drops_data <- c.drops_data + 1
+            else c.drops_ctrl <- c.drops_ctrl + 1
+          else if p < drop + corrupt then
+            if data then c.corrupts_data <- c.corrupts_data + 1
+            else c.corrupts_ctrl <- c.corrupts_ctrl + 1
+          else begin
+            (if dup > 0 && Rng.int rng 1_000_000 < dup then begin
+               if data then c.dups_data <- c.dups_data + 1
+               else c.dups_ctrl <- c.dups_ctrl + 1;
+               let d = 1 + Rng.int rng delay_max in
+               ignore (Engine.schedule engine ~delay:d (fun () -> base pkt))
+             end);
+            if delay > 0 && Rng.int rng 1_000_000 < delay then begin
+              c.delays <- c.delays + 1;
+              let d = 1 + Rng.int rng delay_max in
+              ignore (Engine.schedule engine ~delay:d (fun () -> base pkt))
+            end
+            else base pkt
+          end)
+    in
+    iter_ports wrap
+  end;
+  c
+
+let pp ppf c =
+  Format.fprintf ppf
+    "drops %d/%d corrupts %d/%d dups %d/%d delays %d (data/ctrl)"
+    c.drops_data c.drops_ctrl c.corrupts_data c.corrupts_ctrl c.dups_data
+    c.dups_ctrl c.delays

@@ -1,0 +1,36 @@
+(** Random per-delivery fault injection.
+
+    [install] wraps the delivery function of every port in the fabric
+    (captured through {!Port.deliver_fn}) with an iid fault layer driven
+    by the spec's ppm knobs: drops, CRC-style corruptions (observably a
+    drop, counted separately), duplicated deliveries and delayed
+    deliveries.  Control packets are subject to the same faults — lost
+    ACKs, duplicated NACKs and reordered CNPs all exercise recovery paths
+    — but only {e data}-packet losses and duplicates enter the
+    packet-conservation oracle, hence the split counters.
+
+    The wrapper consumes the given RNG in delivery-event order, which the
+    engine makes deterministic, so a seeded run replays exactly. *)
+
+type counters = {
+  mutable drops_data : int;
+  mutable drops_ctrl : int;
+  mutable corrupts_data : int;
+  mutable corrupts_ctrl : int;
+  mutable dups_data : int;
+  mutable dups_ctrl : int;
+  mutable delays : int;
+}
+
+val active : Fuzz_spec.t -> bool
+(** Whether the spec carries any per-delivery fault at all (if not,
+    [install] leaves the ports untouched). *)
+
+val install :
+  engine:Engine.t ->
+  rng:Rng.t ->
+  spec:Fuzz_spec.t ->
+  iter_ports:((Port.t -> unit) -> unit) ->
+  counters
+
+val pp : Format.formatter -> counters -> unit

@@ -1,0 +1,175 @@
+type flow_probe = {
+  fp_index : int;
+  fp_transfer : Fuzz_spec.transfer;
+  fp_conn : Flow_id.t;
+  fp_packets : int;
+  fp_dst_nic : Rnic.t;
+  mutable fp_done : Sim_time.t option;
+}
+
+type view = {
+  v_nics : Rnic.t list;
+  v_port_data_drops : unit -> int;
+  v_switch_data_drops : unit -> int;
+  v_switch_total_drops : unit -> int;
+  v_themis : unit -> Network.themis_totals option;
+  v_fault : Fuzz_fault.counters;
+  v_flows : flow_probe list;
+}
+
+type violation = { oracle : string; detail : string }
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.oracle v.detail
+
+let all_done view = List.for_all (fun fp -> fp.fp_done <> None) view.v_flows
+
+let vio acc oracle fmt =
+  Format.kasprintf (fun detail -> { oracle; detail } :: acc) fmt
+
+let flow_label fp =
+  Format.asprintf "flow#%d %d>%d %dB (%a)" fp.fp_index fp.fp_transfer.Fuzz_spec.src
+    fp.fp_transfer.Fuzz_spec.dst fp.fp_transfer.Fuzz_spec.bytes Flow_id.pp
+    fp.fp_conn
+
+let check_completion view acc =
+  List.fold_left
+    (fun acc fp ->
+      match fp.fp_done with
+      | Some _ -> acc
+      | None -> vio acc "completion" "%s did not complete" (flow_label fp))
+    acc view.v_flows
+
+let check_gapless view acc =
+  List.fold_left
+    (fun acc fp ->
+      if fp.fp_done = None then acc
+      else
+        match Rnic.receiver fp.fp_dst_nic ~conn:fp.fp_conn with
+        | None -> vio acc "gapless" "%s: no receive context" (flow_label fp)
+        | Some recv ->
+            let acc =
+              if Receiver.epsn recv <> fp.fp_packets then
+                vio acc "gapless" "%s: ePSN %d, expected %d" (flow_label fp)
+                  (Receiver.epsn recv) fp.fp_packets
+              else acc
+            in
+            let acc =
+              if Receiver.ooo_buffered recv <> 0 then
+                vio acc "gapless" "%s: %d packets still buffered out-of-order"
+                  (flow_label fp)
+                  (Receiver.ooo_buffered recv)
+              else acc
+            in
+            if Receiver.delivered_bytes recv <> fp.fp_transfer.Fuzz_spec.bytes
+            then
+              vio acc "gapless" "%s: delivered %d bytes, expected %d"
+                (flow_label fp)
+                (Receiver.delivered_bytes recv)
+                fp.fp_transfer.Fuzz_spec.bytes
+            else acc)
+    acc view.v_flows
+
+let check_quiescence view acc =
+  List.fold_left
+    (fun acc nic ->
+      List.fold_left
+        (fun acc s ->
+          if Sender.idle s && Sender.outstanding s = 0 then acc
+          else
+            vio acc "quiescence"
+              "node %d sender %a: idle=%b outstanding=%d after drain"
+              (Rnic.node nic) Flow_id.pp (Sender.conn s) (Sender.idle s)
+              (Sender.outstanding s))
+        acc (Rnic.senders nic))
+    acc view.v_nics
+
+let sum_nics view f = List.fold_left (fun acc n -> acc + f n) 0 view.v_nics
+
+let check_conservation view acc =
+  let sent = sum_nics view Rnic.data_packets_sent in
+  let received = sum_nics view Rnic.data_packets_received in
+  let port_drops = view.v_port_data_drops () in
+  let switch_drops = view.v_switch_data_drops () in
+  let f = view.v_fault in
+  let injected_losses = f.Fuzz_fault.drops_data + f.Fuzz_fault.corrupts_data in
+  let dups = f.Fuzz_fault.dups_data in
+  let lhs = sent + dups in
+  let rhs = received + port_drops + switch_drops + injected_losses in
+  if lhs <> rhs then
+    vio acc "conservation"
+      "sent %d + injected dups %d <> received %d + port drops %d + switch \
+       drops %d + injected losses %d (delta %d)"
+      sent dups received port_drops switch_drops injected_losses (lhs - rhs)
+  else acc
+
+let check_telemetry view ~summary acc =
+  match summary with
+  | None -> vio acc "telemetry" "no telemetry context after the run"
+  | Some (s : Experiment.telemetry_summary) ->
+      let eq acc what reg sim =
+        if reg <> sim then
+          vio acc "telemetry" "%s: registry %d, simulator %d" what reg sim
+        else acc
+      in
+      let acc =
+        eq acc "data_packets" s.Experiment.tele_data_packets
+          (sum_nics view Rnic.data_packets_sent)
+      in
+      let acc =
+        eq acc "retx_packets" s.Experiment.tele_retx_packets
+          (sum_nics view Rnic.retx_packets_sent)
+      in
+      let acc =
+        eq acc "nacks_generated" s.Experiment.tele_nacks_generated
+          (sum_nics view Rnic.nacks_sent)
+      in
+      let acc =
+        eq acc "buffer_drops" s.Experiment.tele_buffer_drops
+          (view.v_switch_total_drops ())
+      in
+      if all_done view then
+        eq acc "flows_completed" s.Experiment.tele_flows_completed
+          (List.length view.v_flows)
+      else acc
+
+let check_themis view acc =
+  match view.v_themis () with
+  | None -> acc
+  | Some (tt : Network.themis_totals) ->
+      let acc =
+        let split =
+          tt.Network.nacks_blocked + tt.Network.nacks_forwarded_valid
+          + tt.Network.nacks_forwarded_underflow
+        in
+        if tt.Network.nacks_seen <> split then
+          vio acc "themis-accounting"
+            "nacks_seen %d <> blocked %d + valid %d + underflow %d"
+            tt.Network.nacks_seen tt.Network.nacks_blocked
+            tt.Network.nacks_forwarded_valid tt.Network.nacks_forwarded_underflow
+        else acc
+      in
+      (* Every compensation outcome — sent, or cancelled either after
+         arming or immediately (the ePSN packet was already past the
+         ToR) — consumes exactly one blocked NACK. *)
+      if
+        tt.Network.compensation_sent + tt.Network.compensation_cancelled
+        > tt.Network.nacks_blocked
+      then
+        vio acc "themis-accounting"
+          "compensation sent %d + cancelled %d > nacks blocked %d"
+          tt.Network.compensation_sent tt.Network.compensation_cancelled
+          tt.Network.nacks_blocked
+      else acc
+
+let check view ~summary =
+  let acc = check_completion view [] in
+  let acc =
+    (* The post-completion invariants presuppose a drained run; when a
+       flow is already reported stuck they would only echo the same root
+       cause with noisier numbers. *)
+    if all_done view then
+      check_conservation view (check_quiescence view (check_gapless view acc))
+    else acc
+  in
+  let acc = check_telemetry view ~summary acc in
+  List.rev (check_themis view acc)

@@ -1,0 +1,52 @@
+(** End-of-run invariant oracles.
+
+    A scenario run exposes its network through a scheme-agnostic {!view}
+    (both {!Network} and {!Fat_tree_net} runs build one) and the oracles
+    assert, after the run has drained:
+
+    - {b completion}: every posted transfer completed before the deadline
+      — with the NACK filter in the loop this is also the livelock check;
+    - {b gapless delivery}: each completed flow's receiver ends at
+      ePSN = message packet count with an empty out-of-order buffer and
+      exactly the message bytes delivered;
+    - {b quiescence}: every sender is idle with nothing outstanding;
+    - {b packet conservation} (data packets only):
+      sent + injected duplicates = received at NICs + port drops
+      + switch drops + injected drops + injected corruptions;
+    - {b telemetry consistency}: the typed-metric registry agrees with the
+      simulator's own counters (data/retx/NACK/drop totals, completed
+      flows);
+    - {b Themis accounting}: NACKs seen = blocked + forwarded-valid +
+      forwarded-underflow, and compensations sent plus cancelled never
+      exceed blocked NACKs (each outcome consumes one blocked NACK).
+
+    Oracles that only make sense on a fully completed run (gapless,
+    quiescence, conservation) are skipped when a completion violation is
+    already being reported, so one root cause yields one violation. *)
+
+type flow_probe = {
+  fp_index : int;
+  fp_transfer : Fuzz_spec.transfer;
+  fp_conn : Flow_id.t;
+  fp_packets : int;
+  fp_dst_nic : Rnic.t;
+  mutable fp_done : Sim_time.t option;
+}
+
+type view = {
+  v_nics : Rnic.t list;
+  v_port_data_drops : unit -> int;
+  v_switch_data_drops : unit -> int;
+  v_switch_total_drops : unit -> int;  (** All packets, buffer + unreachable. *)
+  v_themis : unit -> Network.themis_totals option;
+  v_fault : Fuzz_fault.counters;
+  v_flows : flow_probe list;
+}
+
+type violation = { oracle : string; detail : string }
+
+val all_done : view -> bool
+
+val check : view -> summary:Experiment.telemetry_summary option -> violation list
+
+val pp_violation : Format.formatter -> violation -> unit

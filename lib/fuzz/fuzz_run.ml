@@ -1,0 +1,348 @@
+type outcome = {
+  o_scheme : string;
+  o_violations : Fuzz_oracle.violation list;
+  o_summary : Experiment.telemetry_summary option;
+  o_events_jsonl : string;
+  o_completed_us : float;
+  o_data_packets : int;
+  o_retx_packets : int;
+  o_drops : int;
+  o_themis : Network.themis_totals option;
+}
+
+exception Bad_spec of string
+
+let scheme_names = Fuzz_spec.all_schemes @ [ "psn-spray"; "themis-nocomp" ]
+
+let schemes_of (spec : Fuzz_spec.t) =
+  match spec.Fuzz_spec.schemes with
+  | [] -> Fuzz_spec.all_schemes
+  | ss -> ss
+
+let ls_scheme = function
+  | "ecmp" -> Network.Ecmp
+  | "spray" -> Network.Random_spray
+  | "ar" -> Network.Adaptive
+  | "psn-spray" -> Network.Psn_spray_only
+  | "themis" -> Network.Themis { compensation = true }
+  | "themis-nocomp" -> Network.Themis { compensation = false }
+  | s -> raise (Bad_spec (Printf.sprintf "unknown scheme %S" s))
+
+(* Fat trees have no standalone Psn_spray_only scheme object; the
+   equivalent ablation is the Psn_spray policy at every tier. *)
+let ft_scheme = function
+  | "ecmp" -> (false, true, Lb_policy.Ecmp)
+  | "spray" -> (false, true, Lb_policy.Random_spray)
+  | "ar" -> (false, true, Lb_policy.Adaptive)
+  | "psn-spray" -> (false, true, Lb_policy.Psn_spray)
+  | "themis" -> (true, true, Lb_policy.Ecmp)
+  | "themis-nocomp" -> (true, false, Lb_policy.Ecmp)
+  | s -> raise (Bad_spec (Printf.sprintf "unknown scheme %S" s))
+
+type net = Net_ls of Network.t | Net_ft of Fat_tree_net.t
+
+let engine = function
+  | Net_ls n -> Network.engine n
+  | Net_ft n -> Fat_tree_net.engine n
+
+let iter_ports net f =
+  match net with
+  | Net_ls n -> Network.iter_ports n f
+  | Net_ft n -> Fat_tree_net.iter_ports n f
+
+let nics_list = function
+  | Net_ls n -> Network.nics_list n
+  | Net_ft n -> Fat_tree_net.nics_list n
+
+let switches_list = function
+  | Net_ls n -> Network.switches_list n
+  | Net_ft n -> Fat_tree_net.switches_list n
+
+let themis_totals = function
+  | Net_ls n -> Network.themis_totals n
+  | Net_ft n -> Fat_tree_net.themis_totals n
+
+let nic net ~host =
+  match net with
+  | Net_ls n -> Network.nic n ~host
+  | Net_ft n -> Fat_tree_net.nic n ~host
+
+let connect net ~src ~dst =
+  match net with
+  | Net_ls n -> Network.connect n ~src ~dst
+  | Net_ft n -> Fat_tree_net.connect n ~src ~dst
+
+let drive net ?until () =
+  match net with
+  | Net_ls n -> Network.run ?until n
+  | Net_ft n -> Fat_tree_net.run ?until n
+
+let validate (spec : Fuzz_spec.t) =
+  let n = Fuzz_spec.n_hosts_of_shape spec.Fuzz_spec.shape in
+  List.iter
+    (fun (tr : Fuzz_spec.transfer) ->
+      if tr.Fuzz_spec.src < 0 || tr.Fuzz_spec.src >= n || tr.Fuzz_spec.dst < 0
+         || tr.Fuzz_spec.dst >= n then
+        raise
+          (Bad_spec
+             (Printf.sprintf "flow %d>%d outside the %d-host fabric"
+                tr.Fuzz_spec.src tr.Fuzz_spec.dst n));
+      if tr.Fuzz_spec.src = tr.Fuzz_spec.dst then
+        raise (Bad_spec (Printf.sprintf "flow %d>%d is a self-loop"
+                           tr.Fuzz_spec.src tr.Fuzz_spec.dst));
+      if tr.Fuzz_spec.bytes <= 0 then
+        raise (Bad_spec "flow with non-positive byte count"))
+    spec.Fuzz_spec.transfers;
+  match spec.Fuzz_spec.shape with
+  | Fuzz_spec.Ft _ ->
+      if spec.Fuzz_spec.link_faults <> [] then
+        raise (Bad_spec "link faults are only supported on leaf-spine shapes")
+  | Fuzz_spec.Ls { n_leaves; n_spines; hosts_per_leaf; _ } ->
+      let n_hosts = n_leaves * hosts_per_leaf in
+      let n_links = n_hosts + (n_leaves * n_spines) in
+      List.iter
+        (fun (lf : Fuzz_spec.link_fault) ->
+          if lf.Fuzz_spec.fault_link < n_hosts then
+            raise
+              (Bad_spec
+                 (Printf.sprintf "link fault %d would disconnect a host"
+                    lf.Fuzz_spec.fault_link));
+          if lf.Fuzz_spec.fault_link >= n_links then
+            raise (Bad_spec (Printf.sprintf "link %d not in topology"
+                               lf.Fuzz_spec.fault_link)))
+        spec.Fuzz_spec.link_faults
+
+let build (spec : Fuzz_spec.t) ~scheme =
+  match spec.Fuzz_spec.shape with
+  | Fuzz_spec.Ls
+      { n_leaves; n_spines; hosts_per_leaf; host_gbps; fabric_gbps;
+        link_delay_ns } ->
+      let fabric =
+        {
+          Leaf_spine.n_leaves;
+          n_spines;
+          hosts_per_leaf;
+          host_bw = Rate.gbps (float_of_int host_gbps);
+          fabric_bw = Rate.gbps (float_of_int fabric_gbps);
+          link_delay = link_delay_ns;
+        }
+      in
+      let p0 = Network.default_params ~fabric ~scheme:(ls_scheme scheme) in
+      let nic_cfg =
+        {
+          p0.Network.nic with
+          Rnic.transport = (if spec.Fuzz_spec.gbn then `Gbn else `Sr);
+        }
+      in
+      let params =
+        {
+          p0 with
+          Network.nic = nic_cfg;
+          per_port_cap = spec.Fuzz_spec.per_port_kb * 1024;
+          queue_factor = float_of_int spec.Fuzz_spec.queue_factor_pct /. 100.;
+          last_hop_jitter = spec.Fuzz_spec.jitter_ns;
+          seed = spec.Fuzz_spec.seed;
+          telemetry = true;
+          telemetry_interval = Sim_time.us 200;
+        }
+      in
+      Net_ls (Network.build params)
+  | Fuzz_spec.Ft { k; gbps; link_delay_ns } ->
+      let themis, compensation, lb = ft_scheme scheme in
+      let bw = Rate.gbps (float_of_int gbps) in
+      let p0 = Fat_tree_net.default_params ~k ~themis () in
+      let nic_cfg =
+        {
+          (Rnic.default_config ~line_rate:bw) with
+          Rnic.transport = (if spec.Fuzz_spec.gbn then `Gbn else `Sr);
+        }
+      in
+      let params =
+        {
+          p0 with
+          Fat_tree_net.host_bw = bw;
+          fabric_bw = bw;
+          link_delay = link_delay_ns;
+          nic = nic_cfg;
+          compensation;
+          per_port_cap = spec.Fuzz_spec.per_port_kb * 1024;
+          queue_factor = float_of_int spec.Fuzz_spec.queue_factor_pct /. 100.;
+          ft_seed = spec.Fuzz_spec.seed;
+          ft_lb = lb;
+        }
+      in
+      (* Network.build installs the telemetry context itself;
+         Fat_tree_net has no telemetry knob, so enable one here, before
+         any traffic, to the same effect. *)
+      ignore (Telemetry.enable ());
+      Net_ft (Fat_tree_net.build params)
+
+let run_scheme (spec : Fuzz_spec.t) ~scheme : outcome =
+  validate spec;
+  (* Global state hygiene: both make a (spec, scheme) run a pure
+     function, so the determinism oracle can demand bit-equality. *)
+  Packet.reset_uid_counter ();
+  Telemetry.disable ();
+  let net = build spec ~scheme in
+  let eng = engine net in
+  let fault_rng = Rng.create ~seed:(spec.Fuzz_spec.seed lxor 0xfa017) in
+  let fault =
+    Fuzz_fault.install ~engine:eng ~rng:fault_rng ~spec
+      ~iter_ports:(iter_ports net)
+  in
+  (match net with
+  | Net_ft _ -> ()
+  | Net_ls n ->
+      let mode =
+        if spec.Fuzz_spec.shrink_pathset then `Shrink_pathset else `Fallback_ecmp
+      in
+      List.iter
+        (fun (lf : Fuzz_spec.link_fault) ->
+          ignore
+            (Engine.schedule_at eng ~time:lf.Fuzz_spec.down_ns (fun () ->
+                 Network.fail_link ~mode n ~link_id:lf.Fuzz_spec.fault_link));
+          if lf.Fuzz_spec.up_ns > lf.Fuzz_spec.down_ns then
+            ignore
+              (Engine.schedule_at eng ~time:lf.Fuzz_spec.up_ns (fun () ->
+                   Network.restore_link n ~link_id:lf.Fuzz_spec.fault_link)))
+        spec.Fuzz_spec.link_faults);
+  let flows =
+    List.mapi
+      (fun i (tr : Fuzz_spec.transfer) ->
+        let qp = connect net ~src:tr.Fuzz_spec.src ~dst:tr.Fuzz_spec.dst in
+        let fp =
+          {
+            Fuzz_oracle.fp_index = i;
+            fp_transfer = tr;
+            fp_conn = Rnic.qp_conn qp;
+            fp_packets = Fuzz_spec.packets_of_bytes spec tr.Fuzz_spec.bytes;
+            fp_dst_nic = nic net ~host:tr.Fuzz_spec.dst;
+            fp_done = None;
+          }
+        in
+        ignore
+          (Engine.schedule_at eng ~time:tr.Fuzz_spec.start_ns (fun () ->
+               Rnic.post_send qp ~bytes:tr.Fuzz_spec.bytes
+                 ~on_complete:(fun t -> fp.Fuzz_oracle.fp_done <- Some t)));
+        fp)
+      spec.Fuzz_spec.transfers
+  in
+  let port_data_drops () =
+    let acc = ref 0 in
+    iter_ports net (fun p -> acc := !acc + Port.dropped_data_packets p);
+    !acc
+  in
+  let switch_data_drops () =
+    List.fold_left
+      (fun acc sw -> acc + Switch.dropped_data_packets sw)
+      0 (switches_list net)
+  in
+  let switch_total_drops () =
+    List.fold_left
+      (fun acc sw ->
+        acc + Switch.dropped_buffer sw + Switch.dropped_unreachable sw)
+      0 (switches_list net)
+  in
+  let view =
+    {
+      Fuzz_oracle.v_nics = nics_list net;
+      v_port_data_drops = port_data_drops;
+      v_switch_data_drops = switch_data_drops;
+      v_switch_total_drops = switch_total_drops;
+      v_themis = (fun () -> themis_totals net);
+      v_fault = fault;
+      v_flows = flows;
+    }
+  in
+  let deadline = spec.Fuzz_spec.deadline_ns in
+  let step = Sim_time.ms 5 in
+  let rec loop () =
+    if (not (Fuzz_oracle.all_done view)) && Engine.now eng < deadline then begin
+      drive net ~until:(min deadline (Engine.now eng + step)) ();
+      loop ()
+    end
+  in
+  loop ();
+  (if Fuzz_oracle.all_done view then
+     (* Let in-flight duplicates, delayed deliveries and post-completion
+        compensation NACKs (plus the retransmissions they trigger)
+        settle before judging quiescence and conservation. *)
+     let drain =
+       Sim_time.ms 3
+       + (8 * spec.Fuzz_spec.delay_max_ns)
+       + (4 * spec.Fuzz_spec.jitter_ns)
+     in
+     drive net ~until:(Engine.now eng + drain) ());
+  let summary = Experiment.telemetry_summary () in
+  let events_jsonl =
+    match Telemetry.ctx () with
+    | Some ctx -> Export.events_to_jsonl ctx
+    | None -> ""
+  in
+  let violations = Fuzz_oracle.check view ~summary in
+  let completed_us =
+    List.fold_left
+      (fun acc fp ->
+        match fp.Fuzz_oracle.fp_done with
+        | Some t -> Stdlib.max acc (Sim_time.to_us t)
+        | None -> Sim_time.to_us deadline)
+      0. flows
+  in
+  {
+    o_scheme = scheme;
+    o_violations = violations;
+    o_summary = summary;
+    o_events_jsonl = events_jsonl;
+    o_completed_us = completed_us;
+    o_data_packets =
+      List.fold_left (fun a n -> a + Rnic.data_packets_sent n) 0
+        (nics_list net);
+    o_retx_packets =
+      List.fold_left (fun a n -> a + Rnic.retx_packets_sent n) 0
+        (nics_list net);
+    o_drops =
+      port_data_drops () + switch_data_drops () + fault.Fuzz_fault.drops_data
+      + fault.Fuzz_fault.corrupts_data;
+    o_themis = themis_totals net;
+  }
+
+(* An engine callback that raises (a simulator bug) must count as a
+   failed run, not kill the sweep: the minimizer needs the crash as an
+   ordinary oracle violation to shrink against. *)
+let run_scheme_safe spec ~scheme =
+  match run_scheme spec ~scheme with
+  | outcome -> outcome
+  | exception (Bad_spec _ as e) -> raise e
+  | exception exn ->
+      {
+        o_scheme = scheme;
+        o_violations =
+          [
+            {
+              Fuzz_oracle.oracle = "crash";
+              detail = Printexc.to_string exn;
+            };
+          ];
+        o_summary = None;
+        o_events_jsonl = "";
+        o_completed_us = 0.;
+        o_data_packets = 0;
+        o_retx_packets = 0;
+        o_drops = 0;
+        o_themis = None;
+      }
+
+let run spec =
+  List.map (fun scheme -> run_scheme_safe spec ~scheme) (schemes_of spec)
+
+let failed o = o.o_violations <> []
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%-13s %7d pkts %5d retx %5d drops %9.1f us %s" o.o_scheme
+    o.o_data_packets o.o_retx_packets o.o_drops o.o_completed_us
+    (if failed o then
+       Format.asprintf "FAIL %a"
+         (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f "; ")
+            Fuzz_oracle.pp_violation)
+         o.o_violations
+     else "ok")

@@ -1,0 +1,46 @@
+(** Execute one scenario spec under one (or every) scheme.
+
+    A run builds a fresh fabric for the (spec, scheme) pair — resetting
+    the global packet-uid counter and installing a fresh telemetry
+    context, so two runs of the same pair are bit-identical — posts the
+    spec's transfers, schedules its link faults, installs the
+    per-delivery fault layer, drives the engine until every transfer
+    completes (or the deadline expires), lets the fabric drain, and
+    evaluates the {!Fuzz_oracle} invariants. *)
+
+type outcome = {
+  o_scheme : string;
+  o_violations : Fuzz_oracle.violation list;
+  o_summary : Experiment.telemetry_summary option;
+  o_events_jsonl : string;
+      (** Full typed-event dump — the determinism oracle compares these
+          byte-for-byte across same-seed runs. *)
+  o_completed_us : float;  (** Last flow completion (deadline if stuck). *)
+  o_data_packets : int;
+  o_retx_packets : int;
+  o_drops : int;  (** Port + switch + injected data losses. *)
+  o_themis : Network.themis_totals option;
+}
+
+exception Bad_spec of string
+(** The spec references hosts or links the shape does not have (only
+    reachable through hand-written replay strings). *)
+
+val scheme_names : string list
+(** Accepted [o_scheme] values: {!Fuzz_spec.all_schemes} plus the
+    ablation schemes ["psn-spray"] and ["themis-nocomp"]. *)
+
+val schemes_of : Fuzz_spec.t -> string list
+
+val run_scheme : Fuzz_spec.t -> scheme:string -> outcome
+(** Propagates simulator exceptions (useful under a debugger). *)
+
+val run_scheme_safe : Fuzz_spec.t -> scheme:string -> outcome
+(** Converts a simulator exception into a ["crash"] oracle violation so
+    sweeps keep going and the minimizer can shrink crashing scenarios.
+    {!Bad_spec} still propagates. *)
+
+val run : Fuzz_spec.t -> outcome list
+
+val failed : outcome -> bool
+val pp_outcome : Format.formatter -> outcome -> unit

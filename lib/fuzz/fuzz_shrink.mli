@@ -1,0 +1,23 @@
+(** Greedy failure minimization.
+
+    Given a spec that violates an oracle under [scheme], repeatedly try
+    simpler variants — remove link faults, zero fault probabilities,
+    drop transfers, halve messages, restore default buffer and ring
+    sizing — keeping a variant whenever it {e still} fails and has a
+    strictly smaller {!Fuzz_spec.cost}, until a fixpoint or the re-run
+    budget is exhausted.  The result is the one-line repro the harness
+    prints. *)
+
+type result = {
+  minimized : Fuzz_spec.t;  (** [schemes] narrowed to [[scheme]]. *)
+  runs_used : int;
+  shrunk : bool;  (** At least one simplification was accepted. *)
+}
+
+val candidates : Fuzz_spec.t -> Fuzz_spec.t list
+(** The one-step simplifications [minimize] tries, cheapest win first.
+    None increases {!Fuzz_spec.cost}; the greedy loop additionally
+    requires a strict decrease, which is its termination argument. *)
+
+val minimize : ?budget:int -> spec:Fuzz_spec.t -> scheme:string -> unit -> result
+(** [budget] bounds the number of re-runs (default 48). *)

@@ -16,6 +16,7 @@ type t = {
   mutable tx_packets : int;
   mutable tx_bytes : int;
   mutable dropped : int;
+  mutable dropped_data : int;
   mutable inject_drops : int;
   mutable jitter : (Rng.t * Sim_time.t) option;
 }
@@ -42,6 +43,7 @@ let create ~engine ~bandwidth ~delay ~label =
     tx_packets = 0;
     tx_bytes = 0;
     dropped = 0;
+    dropped_data = 0;
     inject_drops = 0;
     jitter = None;
   }
@@ -49,6 +51,8 @@ let create ~engine ~bandwidth ~delay ~label =
 (* Telemetry: one Packet_drop event per discarded packet, tagged with the
    port's label so drops are attributable to a link direction. *)
 let record_drop t (pkt : Packet.t) reason =
+  t.dropped <- t.dropped + 1;
+  if Packet.is_data pkt then t.dropped_data <- t.dropped_data + 1;
   if Telemetry.enabled () then begin
     Telemetry.incr_counter
       ~labels:[ ("port", t.label) ]
@@ -104,25 +108,26 @@ let rec start_tx t =
                  in
                  ignore
                    (Engine.schedule t.engine ~delay:(t.delay + extra)
-                      (fun () -> if t.up then t.deliver pkt))
+                      (fun () ->
+                        (* The link may have failed while the packet was
+                           propagating: such packets are lost on the wire
+                           and must be accounted as drops, or packet
+                           conservation breaks. *)
+                        if t.up then t.deliver pkt
+                        else record_drop t pkt Event.Link_down))
                end
-               else begin
-                 t.dropped <- t.dropped + 1;
-                 record_drop t pkt Event.Link_down
-               end;
+               else record_drop t pkt Event.Link_down;
                start_tx t))
 
 let inject_drops t n = t.inject_drops <- t.inject_drops + n
 
 let enqueue t pkt =
   if not t.up then begin
-    t.dropped <- t.dropped + 1;
     record_drop t pkt Event.Link_down;
     t.on_discard pkt
   end
   else if Packet.is_data pkt && t.inject_drops > 0 then begin
     t.inject_drops <- t.inject_drops - 1;
-    t.dropped <- t.dropped + 1;
     record_drop t pkt Event.Injected;
     t.on_discard pkt
   end
@@ -152,7 +157,6 @@ let paused t = t.paused
 let flush_discard t q =
   Queue.iter
     (fun pkt ->
-      t.dropped <- t.dropped + 1;
       record_drop t pkt Event.Link_down;
       t.on_discard pkt)
     q;
@@ -172,5 +176,7 @@ let is_up t = t.up
 let tx_packets t = t.tx_packets
 let tx_bytes t = t.tx_bytes
 let dropped_packets t = t.dropped
+let dropped_data_packets t = t.dropped_data
 let bandwidth t = t.bandwidth
 let label t = t.label
+let deliver_fn t = t.deliver

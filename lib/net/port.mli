@@ -25,6 +25,10 @@ val create :
 val set_deliver : t -> (Packet.t -> unit) -> unit
 (** Must be called before the first enqueue (network wiring phase). *)
 
+val deliver_fn : t -> Packet.t -> unit
+(** The current delivery callback.  Fault-injection layers capture it to
+    wrap delivery with loss / duplication / delay (see [Fuzz_fault]). *)
+
 val set_on_dequeue : t -> (Packet.t -> unit) -> unit
 (** Hook fired when a packet leaves a FIFO and starts serializing.  Used
     for shared-buffer release and for Themis-D's "packet leaves the ToR"
@@ -71,5 +75,11 @@ val is_up : t -> bool
 val tx_packets : t -> int
 val tx_bytes : t -> int
 val dropped_packets : t -> int
+
+val dropped_data_packets : t -> int
+(** Data-only subset of [dropped_packets] — the term the fuzz harness's
+    packet-conservation oracle sums (control losses are recovered by
+    retransmission and deliberately excluded). *)
+
 val bandwidth : t -> Rate.t
 val label : t -> string

@@ -42,6 +42,7 @@ type t = {
   mutable on_data_tx : Packet.t -> unit;
   mutable nacks_sent : int;
   mutable cnps_sent : int;
+  mutable data_rx : int;
 }
 
 type qp = { nic : t; snd : Sender.t }
@@ -58,6 +59,7 @@ let create ~engine ~node ~config =
     on_data_tx = ignore;
     nacks_sent = 0;
     cnps_sent = 0;
+    data_rx = 0;
   }
 
 let set_port t port = t.port <- Some port
@@ -146,6 +148,7 @@ let on_sender_packet t (pkt : Packet.t) f =
 let receive t (pkt : Packet.t) =
   match pkt.Packet.kind with
   | Packet.Data { psn; payload; last_of_msg } ->
+      t.data_rx <- t.data_rx + 1;
       on_data_packet t pkt psn payload last_of_msg
   | Packet.Ack { psn } -> on_sender_packet t pkt (fun s -> Sender.on_ack s psn)
   | Packet.Nack { epsn } ->
@@ -220,3 +223,11 @@ let delivered_bytes t =
     t.receivers 0
 
 let senders t = Flow_id.Table.fold (fun _ s acc -> s :: acc) t.senders []
+
+let data_packets_received t = t.data_rx
+
+let receivers t =
+  Flow_id.Table.fold (fun conn ctx acc -> (conn, ctx.recv) :: acc) t.receivers []
+
+let receiver t ~conn =
+  Option.map (fun ctx -> ctx.recv) (Flow_id.Table.find_opt t.receivers conn)

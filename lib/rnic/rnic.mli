@@ -66,3 +66,14 @@ val nacks_sent : t -> int
 val cnps_sent : t -> int
 val delivered_bytes : t -> int
 val senders : t -> Sender.t list
+
+val data_packets_received : t -> int
+(** Every data packet the host link delivered to this NIC, including
+    duplicates and out-of-order arrivals — the receive-side term of the
+    fuzz harness's packet-conservation oracle. *)
+
+val receivers : t -> (Flow_id.t * Receiver.t) list
+(** Receive contexts hosted on this NIC (one per remote QP), for
+    end-of-run invariant checks (gapless ePSN, empty OOO buffer). *)
+
+val receiver : t -> conn:Flow_id.t -> Receiver.t option

@@ -94,7 +94,10 @@ let payload_of t seq =
   match !found with
   | None ->
       invalid_arg
-        (Printf.sprintf "Sender: sequence %d not in any active message" seq)
+        (Printf.sprintf
+           "Sender: sequence %d not in any active message (una=%d next=%d \
+            end=%d msgs=%d)"
+           seq t.una t.next_seq t.end_seq (Queue.length t.msgs))
   | Some m ->
       let last = seq = m.start + m.packets - 1 in
       let payload =
@@ -226,6 +229,10 @@ let complete_msgs t =
 let advance_una t seq =
   if seq > t.una then begin
     t.una <- seq;
+    (* A cumulative ACK supersedes any pending GBN rewind: sequences
+       below [una] are acknowledged and must never be (re)transmitted,
+       so the send cursor may not lag behind it. *)
+    if t.next_seq < t.una then t.next_seq <- t.una;
     complete_msgs t;
     if t.una >= t.next_seq && Queue.is_empty t.retx then cancel_rto t
     else arm_rto t

@@ -57,6 +57,19 @@ let telemetry_summary () =
           tele_events_dropped = Telemetry.events_dropped ctx;
         }
 
+let pp_telemetry_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>data %d retx %d@,\
+     nacks gen %d valid %d blocked %d underflow %d@,\
+     comp sent %d cancelled %d@,\
+     flows %d fct p50 %.2fus p99 %.2fus@,\
+     ecn %d drops %d events %d (%d dropped)@]"
+    s.tele_data_packets s.tele_retx_packets s.tele_nacks_generated
+    s.tele_nacks_valid s.tele_nacks_blocked s.tele_nacks_underflow
+    s.tele_comp_sent s.tele_comp_cancelled s.tele_flows_completed
+    s.tele_fct_p50_us s.tele_fct_p99_us s.tele_ecn_marks s.tele_buffer_drops
+    s.tele_events s.tele_events_dropped
+
 type motivation_config = {
   msg_bytes : int;
   transport : Rnic.transport;

@@ -35,6 +35,11 @@ type telemetry_summary = {
 val telemetry_summary : unit -> telemetry_summary option
 (** [None] when no telemetry context is enabled. *)
 
+val pp_telemetry_summary : Format.formatter -> telemetry_summary -> unit
+(** Multi-line human-readable rendering; the fuzz harness's determinism
+    oracle compares summaries with structural equality and prints both
+    sides with this on mismatch. *)
+
 (** {1 Motivation experiment (Section 2.2, Figure 1)}
 
     Fig. 1a fabric: 2 ToRs x 4 spines, 8 hosts, 100 Gbps.  Two interleaved

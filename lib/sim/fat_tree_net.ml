@@ -11,6 +11,10 @@ type params = {
   ecn_enabled : bool;
   queue_factor : float;
   ft_seed : int;
+  ft_lb : Lb_policy.t;
+      (* Load balancing when [themis] is off (spray / adaptive baselines
+         in the multi-tier fabric).  Forced to ECMP when [themis] is on:
+         sport-rewrite steering requires hash-based next-hop choice. *)
 }
 
 let default_params ?(k = 4) ~themis () =
@@ -28,6 +32,7 @@ let default_params ?(k = 4) ~themis () =
     ecn_enabled = true;
     queue_factor = 1.5;
     ft_seed = 42;
+    ft_lb = Lb_policy.Ecmp;
   }
 
 type t = {
@@ -37,6 +42,7 @@ type t = {
   routing : Routing.t;
   switches : (int, Switch.t) Hashtbl.t;
   nics : Rnic.t array;
+  link_ports : (int, Port.t * Port.t) Hashtbl.t;
   mutable themis_ds : Themis_d.t list;
   mutable themis_ss : Themis_s.t list;
 }
@@ -73,7 +79,7 @@ let build (params : params) =
   let add_switch ~shift node =
     let cfg =
       {
-        Switch.lb = Lb_policy.Ecmp;
+        Switch.lb = (if params.themis then Lb_policy.Ecmp else params.ft_lb);
         ecn =
           (if params.ecn_enabled then Some (Ecn.scaled_to params.fabric_bw)
            else None);
@@ -99,6 +105,7 @@ let build (params : params) =
       routing;
       switches;
       nics;
+      link_ports = Hashtbl.create 64;
       themis_ds = [];
       themis_ss = [];
     }
@@ -147,11 +154,14 @@ let build (params : params) =
           ~delay:link.Topology.delay ~label:(Printf.sprintf "%d->%d" src dst)
       in
       Port.set_deliver port (deliver_to dst);
-      if Topology.is_host topo src then Rnic.set_port nics.(src) port
-      else Switch.attach_port (Hashtbl.find switches src) ~link_id ~peer:dst port
+      (if Topology.is_host topo src then Rnic.set_port nics.(src) port
+       else
+         Switch.attach_port (Hashtbl.find switches src) ~link_id ~peer:dst port);
+      port
     in
-    dir link.Topology.a link.Topology.b;
-    dir link.Topology.b link.Topology.a
+    let pab = dir link.Topology.a link.Topology.b in
+    let pba = dir link.Topology.b link.Topology.a in
+    Hashtbl.replace t.link_ports link_id (pab, pba)
   done;
   t
 
@@ -164,6 +174,22 @@ let n_paths t =
 
 let nic t ~host = t.nics.(host)
 let switch t ~node = Hashtbl.find t.switches node
+let n_hosts t = Array.length t.nics
+let nics_list t = Array.to_list t.nics
+
+let switches_list t =
+  Hashtbl.fold (fun node sw acc -> (node, sw) :: acc) t.switches []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let iter_ports t f =
+  for link_id = 0 to Topology.link_count t.ft.Fat_tree.topo - 1 do
+    match Hashtbl.find_opt t.link_ports link_id with
+    | None -> ()
+    | Some (pab, pba) ->
+        f pab;
+        f pba
+  done
 
 let connect t ~src ~dst =
   let qp = Rnic.connect t.nics.(src) ~dst:t.nics.(dst) () in

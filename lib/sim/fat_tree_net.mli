@@ -33,6 +33,11 @@ type params = {
   ecn_enabled : bool;
   queue_factor : float;
   ft_seed : int;
+  ft_lb : Lb_policy.t;
+      (** Load balancing when [themis] is off (spray / adaptive baselines
+          in the multi-tier fabric).  Ignored — forced to ECMP — when
+          [themis] is on, since sport-rewrite steering requires
+          hash-based next-hop choice. *)
 }
 
 val default_params : ?k:int -> themis:bool -> unit -> params
@@ -49,6 +54,15 @@ val n_paths : t -> int
 
 val nic : t -> host:int -> Rnic.t
 val switch : t -> node:int -> Switch.t
+val n_hosts : t -> int
+val nics_list : t -> Rnic.t list
+
+val switches_list : t -> Switch.t list
+(** All switches, ascending node id (deterministic sweep order). *)
+
+val iter_ports : t -> (Port.t -> unit) -> unit
+(** Every directional port in ascending link-id order — fault-injection
+    and drop-accounting hook, mirroring {!Network.iter_ports}. *)
 
 val connect : t -> src:int -> dst:int -> Rnic.qp
 val run : ?until:Sim_time.t -> t -> unit

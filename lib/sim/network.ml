@@ -221,16 +221,21 @@ let build (params : params) =
   (match t.sampler with
   | None -> ()
   | Some s ->
-      Hashtbl.iter
-        (fun _link_id (pab, pba) ->
-          List.iter
-            (fun p ->
-              Sampler.add_probe s ~name:"port_queue_bytes"
-                ~labels:[ ("port", Port.label p) ]
-                ~histogram:"port_queue_bytes_dist" (fun () ->
-                  float_of_int (Port.queue_bytes p)))
-            [ pab; pba ])
-        link_ports;
+      (* Probe registration order feeds the engine's event stream:
+         iterate links in id order, not hashtable order, so two builds
+         of the same params schedule byte-identical runs. *)
+      for link_id = 0 to Topology.link_count topo - 1 do
+        match Hashtbl.find_opt link_ports link_id with
+        | None -> ()
+        | Some (pab, pba) ->
+            List.iter
+              (fun p ->
+                Sampler.add_probe s ~name:"port_queue_bytes"
+                  ~labels:[ ("port", Port.label p) ]
+                  ~histogram:"port_queue_bytes_dist" (fun () ->
+                    float_of_int (Port.queue_bytes p)))
+              [ pab; pba ]
+      done;
       Sampler.start s);
   t
 
@@ -245,6 +250,24 @@ let switch t ~node = Hashtbl.find t.switches node
 let tor_switches t =
   Array.to_list
     (Array.map (fun leaf -> Hashtbl.find t.switches leaf) t.fabric.Leaf_spine.leaves)
+
+(* All switches, by ascending node id — a deterministic order for
+   oracle sweeps. *)
+let switches_list t =
+  Hashtbl.fold (fun node sw acc -> (node, sw) :: acc) t.switches []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd
+
+let iter_ports t f =
+  for link_id = 0 to Topology.link_count t.fabric.Leaf_spine.topo - 1 do
+    match Hashtbl.find_opt t.link_ports link_id with
+    | None -> ()
+    | Some (pab, pba) ->
+        f pab;
+        f pba
+  done
+
+let nics_list t = Array.to_list t.nics
 
 let n_paths t = Leaf_spine.n_paths t.fabric
 
@@ -327,6 +350,19 @@ let fail_link ?(mode = `Fallback_ecmp) t ~link_id =
         end
 
 let themis_active t = t.themis_active
+
+(* Transient failure recovery: bring a failed link back.  The Themis
+   middleware is NOT re-enabled — the paper's fallback is one-way until
+   the operator re-arms it — but ECMP routing reconverges so flows can
+   use the link again. *)
+let restore_link t ~link_id =
+  Topology.set_link_up t.fabric.Leaf_spine.topo ~link_id true;
+  (match Hashtbl.find_opt t.link_ports link_id with
+  | Some (pab, pba) ->
+      Port.set_up pab true;
+      Port.set_up pba true
+  | None -> ());
+  Routing.recompute t.routing
 
 type themis_totals = {
   nacks_seen : int;

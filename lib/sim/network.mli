@@ -56,6 +56,18 @@ val routing : t -> Routing.t
 val nic : t -> host:int -> Rnic.t
 val switch : t -> node:int -> Switch.t
 val tor_switches : t -> Switch.t list
+
+val switches_list : t -> Switch.t list
+(** All switches, ascending node id (deterministic sweep order). *)
+
+val nics_list : t -> Rnic.t list
+(** All host NICs, ascending host id. *)
+
+val iter_ports : t -> (Port.t -> unit) -> unit
+(** Every directional port, in ascending link-id order (A->B then B->A)
+    — the hook the fuzz harness uses to install fault injectors and to
+    sum drop counters deterministically. *)
+
 val n_paths : t -> int
 
 val connect : t -> src:int -> dst:int -> Rnic.qp
@@ -79,6 +91,11 @@ val fail_link :
     ToR links all survive. *)
 
 val themis_active : t -> bool
+
+val restore_link : t -> link_id:int -> unit
+(** Bring a previously failed link back up and reconverge routing.  The
+    Themis middleware stays in whatever fallback state {!fail_link} left
+    it in (the paper's failure handling is one-way). *)
 
 (** Aggregates across the fabric. *)
 

@@ -39,6 +39,7 @@ type t = {
   mutable forwarded : int;
   mutable dropped_buffer : int;
   mutable dropped_unreachable : int;
+  mutable dropped_data : int;
   mutable ecn_marked : int;
   mutable nacks_blocked : int;
 }
@@ -64,6 +65,7 @@ let create ~engine ~topo ~routing ~node ~config ~rng =
     forwarded = 0;
     dropped_buffer = 0;
     dropped_unreachable = 0;
+    dropped_data = 0;
     ecn_marked = 0;
     nacks_blocked = 0;
   }
@@ -72,6 +74,7 @@ let node_id t = t.node
 let config t = t.cfg
 
 let record_drop t (pkt : Packet.t) reason =
+  if Packet.is_data pkt then t.dropped_data <- t.dropped_data + 1;
   if Telemetry.enabled () then begin
     Telemetry.incr_counter
       ~labels:[ ("node", string_of_int t.node) ]
@@ -267,6 +270,7 @@ let rx_packets t = t.rx_packets
 let forwarded_packets t = t.forwarded
 let dropped_buffer t = t.dropped_buffer
 let dropped_unreachable t = t.dropped_unreachable
+let dropped_data_packets t = t.dropped_data
 let ecn_marked t = t.ecn_marked
 let nacks_intercept_blocked t = t.nacks_blocked
 let buffer_pool t = t.pool

@@ -80,6 +80,12 @@ val rx_packets : t -> int
 val forwarded_packets : t -> int
 val dropped_buffer : t -> int
 val dropped_unreachable : t -> int
+
+val dropped_data_packets : t -> int
+(** Data-only subset of buffer + unreachable drops, for the fuzz
+    harness's packet-conservation oracle. *)
+
+
 val ecn_marked : t -> int
 val nacks_intercept_blocked : t -> int
 val buffer_pool : t -> Buffer_pool.t

@@ -1,0 +1,79 @@
+(* Regression for determinism leaks: two runs of the same (spec,
+   scheme) pair must produce byte-identical JSONL event dumps and equal
+   telemetry summaries.  The seeds below are chosen to cover the
+   machinery most likely to leak nondeterminism — fault injection RNG,
+   link-fault scheduling, last-hop jitter, and the fat-tree fabric. *)
+
+let has_faults spec = spec.Fuzz_spec.link_faults <> []
+
+let has_injection spec =
+  spec.Fuzz_spec.drop_ppm > 0
+  || spec.Fuzz_spec.dup_ppm > 0
+  || spec.Fuzz_spec.delay_ppm > 0
+
+let is_ft spec =
+  match spec.Fuzz_spec.shape with Fuzz_spec.Ft _ -> true | _ -> false
+
+(* Scan a seed range for the first spec matching [pred], so the test
+   keeps covering its intended machinery even if the generator's
+   distribution shifts. *)
+let find_spec ~name pred =
+  let rec go seed =
+    if seed > 5_000 then Alcotest.failf "no %s spec in seeds 0..5000" name
+    else
+      let spec = Fuzz_spec.generate ~seed () in
+      if pred spec then spec else go (seed + 1)
+  in
+  go 0
+
+let check_deterministic spec ~scheme =
+  let a = Fuzz_run.run_scheme spec ~scheme in
+  let b = Fuzz_run.run_scheme spec ~scheme in
+  Alcotest.(check bool)
+    (Printf.sprintf "summaries equal (%s)" scheme)
+    true
+    (a.Fuzz_run.o_summary = b.Fuzz_run.o_summary);
+  Alcotest.(check string)
+    (Printf.sprintf "event dumps byte-identical (%s)" scheme)
+    a.Fuzz_run.o_events_jsonl b.Fuzz_run.o_events_jsonl;
+  (* A dump with no events would make the comparison vacuous. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "event dump non-empty (%s)" scheme)
+    true
+    (String.length a.Fuzz_run.o_events_jsonl > 0)
+
+let test_with pred ~name () =
+  let spec = find_spec ~name pred in
+  List.iter
+    (fun scheme -> check_deterministic spec ~scheme)
+    spec.Fuzz_spec.schemes
+
+(* The harness's own double-run check agrees. *)
+let test_harness_det_check () =
+  let spec = Fuzz_spec.generate ~seed:3 () in
+  match
+    Fuzz_harness.determinism_check ~log:ignore ~seed:3 spec
+      ~scheme:(List.hd spec.Fuzz_spec.schemes)
+  with
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "determinism_check flagged seed 3: %s"
+        (match f.Fuzz_harness.f_violations with
+        | v :: _ -> v.Fuzz_oracle.detail
+        | [] -> "?")
+
+let () =
+  Alcotest.run "fuzz_determinism"
+    [
+      ( "same seed, same bytes",
+        [
+          Alcotest.test_case "fault-injected spec" `Quick
+            (test_with has_injection ~name:"fault-injected");
+          Alcotest.test_case "link-fault spec" `Quick
+            (test_with has_faults ~name:"link-fault");
+          Alcotest.test_case "fat-tree spec" `Quick
+            (test_with is_ft ~name:"fat-tree");
+          Alcotest.test_case "harness double-run check" `Quick
+            test_harness_det_check;
+        ] );
+    ]

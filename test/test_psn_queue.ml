@@ -87,6 +87,59 @@ let test_capacity_for () =
       ignore
         (Psn_queue.capacity_for ~bw:(Rate.gbps 1.) ~rtt:1 ~mtu:1500 ~factor:0.))
 
+let test_capacity_one () =
+  (* A one-slot ring: each push evicts the previous entry, and the
+     NACK-to-tPSN recovery still works on the sole survivor. *)
+  let q = Psn_queue.create ~capacity:1 in
+  List.iter (fun x -> Psn_queue.push q (p x)) [ 3; 4; 5 ];
+  Alcotest.(check int) "length 1" 1 (Psn_queue.length q);
+  Alcotest.(check int) "two overwrites" 2 (Psn_queue.overwrites q);
+  Alcotest.(check (list int)) "newest survives" [ 5 ]
+    (List.map Psn.to_int (Psn_queue.to_list q));
+  Alcotest.(check (option psn)) "tPSN from sole entry" (Some (p 5))
+    (Psn_queue.pop_until_greater q (p 4));
+  Alcotest.(check bool) "drained" true (Psn_queue.is_empty q)
+
+let test_overwrite_eviction_order () =
+  (* Sustained overflow evicts strictly oldest-first even as the
+     internal cursor wraps several times over the backing array. *)
+  let q = Psn_queue.create ~capacity:3 in
+  for x = 0 to 10 do
+    Psn_queue.push q (p x)
+  done;
+  Alcotest.(check (list int)) "newest three, oldest first" [ 8; 9; 10 ]
+    (List.map Psn.to_int (Psn_queue.to_list q));
+  Alcotest.(check int) "overwrites" 8 (Psn_queue.overwrites q);
+  ignore (Psn_queue.pop q);
+  Psn_queue.push q (p 11);
+  Psn_queue.push q (p 12);
+  Alcotest.(check (list int)) "pop then overflow once more" [ 10; 11; 12 ]
+    (List.map Psn.to_int (Psn_queue.to_list q))
+
+let test_scan_miss_evicted_trigger () =
+  (* The failure mode the §4 sizing rule (factor F > 1) guards against:
+     the OOO packet that triggered the NACK was pushed, but the ring was
+     undersized and overwrote it before the NACK returned.  The scan for
+     "first PSN greater than ePSN" then either drains entirely, or —
+     worse — surfaces a *later* packet as the presumed trigger. *)
+  let q = Psn_queue.create ~capacity:2 in
+  (* Forwarding order 1,3,2: the RNIC NACKs ePSN=2 with trigger tPSN=3.
+     Subsequent traffic 4,5 overwrites both 1 and the true trigger 3. *)
+  List.iter (fun x -> Psn_queue.push q (p x)) [ 1; 3; 2; 4; 5 ];
+  Alcotest.(check (list int)) "trigger 3 already evicted" [ 4; 5 ]
+    (List.map Psn.to_int (Psn_queue.to_list q));
+  (* The scan cannot distinguish the evicted trigger: it consumes until
+     the first PSN > 2 and misattributes packet 4 as the trigger. *)
+  Alcotest.(check (option psn)) "scan surfaces wrong tPSN" (Some (p 4))
+    (Psn_queue.pop_until_greater q (p 2));
+  (* If instead *everything* at or below the ePSN was evicted too, the
+     scan drains without an answer. *)
+  let q2 = Psn_queue.create ~capacity:2 in
+  List.iter (fun x -> Psn_queue.push q2 (p x)) [ 5; 3; 1; 2 ];
+  Alcotest.(check (option psn)) "drains on stale low entries" None
+    (Psn_queue.pop_until_greater q2 (p 2));
+  Alcotest.(check bool) "empty after miss" true (Psn_queue.is_empty q2)
+
 let test_invalid_capacity () =
   Alcotest.check_raises "zero"
     (Invalid_argument "Psn_queue.create: capacity must be >= 1") (fun () ->
@@ -134,6 +187,11 @@ let () =
           Alcotest.test_case "wraparound" `Quick test_pop_until_greater_wraparound;
           Alcotest.test_case "contains" `Quick test_contains;
           Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "capacity one" `Quick test_capacity_one;
+          Alcotest.test_case "eviction order" `Quick
+            test_overwrite_eviction_order;
+          Alcotest.test_case "scan miss on evicted trigger" `Quick
+            test_scan_miss_evicted_trigger;
           Alcotest.test_case "capacity rule" `Quick test_capacity_for;
           Alcotest.test_case "invalid capacity" `Quick test_invalid_capacity;
           QCheck_alcotest.to_alcotest prop_matches_model;

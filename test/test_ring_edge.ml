@@ -1,0 +1,82 @@
+(* Edge cases for the generic drop-oldest ring (lib/engine/ring.ml):
+   capacity 1, eviction order under sustained overflow, and the dropped
+   counter's bookkeeping across clear. *)
+
+let test_capacity_one () =
+  let r = Ring.create ~capacity:1 in
+  Alcotest.(check bool) "starts empty" true (Ring.is_empty r);
+  Ring.push r 10;
+  Alcotest.(check (list int)) "holds one" [ 10 ] (Ring.to_list r);
+  Ring.push r 11;
+  Ring.push r 12;
+  Alcotest.(check int) "length stays 1" 1 (Ring.length r);
+  Alcotest.(check (list int)) "keeps newest" [ 12 ] (Ring.to_list r);
+  Alcotest.(check int) "two dropped" 2 (Ring.dropped r)
+
+let test_eviction_order () =
+  (* Overflowing a full ring evicts strictly oldest-first: after pushing
+     0..9 into capacity 4, the survivors are the newest four in order. *)
+  let r = Ring.create ~capacity:4 in
+  for i = 0 to 9 do
+    Ring.push r i
+  done;
+  Alcotest.(check (list int)) "newest 4, oldest first" [ 6; 7; 8; 9 ]
+    (Ring.to_list r);
+  Alcotest.(check int) "dropped = overflow count" 6 (Ring.dropped r);
+  (* iter and fold agree with to_list's order. *)
+  let seen = ref [] in
+  Ring.iter r (fun x -> seen := x :: !seen);
+  Alcotest.(check (list int)) "iter oldest first" [ 6; 7; 8; 9 ]
+    (List.rev !seen);
+  Alcotest.(check (list int)) "fold oldest first" [ 6; 7; 8; 9 ]
+    (List.rev (Ring.fold r ~init:[] (fun acc x -> x :: acc)))
+
+let test_interleaved_wrap () =
+  (* The internal cursor wraps repeatedly; order must survive it. *)
+  let r = Ring.create ~capacity:3 in
+  for round = 0 to 4 do
+    Ring.push r (3 * round);
+    Ring.push r ((3 * round) + 1);
+    Ring.push r ((3 * round) + 2)
+  done;
+  Alcotest.(check (list int)) "last full round" [ 12; 13; 14 ] (Ring.to_list r);
+  Alcotest.(check int) "dropped 4 rounds" 12 (Ring.dropped r)
+
+let test_clear_keeps_drop_count () =
+  let r = Ring.create ~capacity:2 in
+  List.iter (Ring.push r) [ 1; 2; 3 ];
+  Ring.clear r;
+  Alcotest.(check bool) "empty after clear" true (Ring.is_empty r);
+  Alcotest.(check int) "capacity kept" 2 (Ring.capacity r);
+  (* The ring mirrors a hardware counter: clear empties entries, and
+     subsequent pushes start a fresh window. *)
+  List.iter (Ring.push r) [ 7; 8 ];
+  Alcotest.(check (list int)) "usable after clear" [ 7; 8 ] (Ring.to_list r)
+
+let prop_matches_model =
+  QCheck.Test.make ~name:"ring = drop-oldest model" ~count:300
+    QCheck.(pair (int_range 1 6) (list_of_size (Gen.int_range 0 50) small_int))
+    (fun (cap, pushes) ->
+      let r = Ring.create ~capacity:cap in
+      let model = ref [] in
+      List.iter
+        (fun x ->
+          Ring.push r x;
+          model := !model @ [ x ];
+          if List.length !model > cap then model := List.tl !model)
+        pushes;
+      Ring.to_list r = !model
+      && Ring.dropped r = max 0 (List.length pushes - cap))
+
+let () =
+  Alcotest.run "ring_edge"
+    [
+      ( "edges",
+        [
+          Alcotest.test_case "capacity one" `Quick test_capacity_one;
+          Alcotest.test_case "eviction order" `Quick test_eviction_order;
+          Alcotest.test_case "interleaved wrap" `Quick test_interleaved_wrap;
+          Alcotest.test_case "clear" `Quick test_clear_keeps_drop_count;
+          QCheck_alcotest.to_alcotest prop_matches_model;
+        ] );
+    ]
