@@ -1,7 +1,8 @@
 # Tooling entry points. `make check` is the CI gate: it must stay green
 # on every commit.
 
-.PHONY: all build test examples micro fuzz-quick fuzz-soak check clean
+.PHONY: all build test examples micro fuzz-quick fuzz-soak campaign-quick \
+        check clean
 
 all: build
 
@@ -11,11 +12,15 @@ build:
 test:
 	dune runtest
 
-# Every example must at least build; quickstart doubles as a fast
-# end-to-end smoke run.
+# Every example binary must build *and* run to completion: each is an
+# executable piece of documentation, and a demo that crashes is a bug.
 examples:
 	dune build examples
 	dune exec examples/quickstart.exe
+	dune exec examples/collective_demo.exe
+	dune exec examples/nack_anatomy.exe
+	dune exec examples/failure_fallback.exe
+	dune exec examples/fat_tree_demo.exe
 
 # Telemetry/data-plane hot paths; the histogram record budget is 100 ns.
 micro:
@@ -31,7 +36,22 @@ fuzz-quick:
 fuzz-soak:
 	dune exec bin/themis_fuzz_cli.exe -- soak
 
-check: build test examples micro fuzz-quick
+# Small Fig. 5 slice over the fork pool, then diffed against the frozen
+# baseline (tolerance bands + Themis<=AR<=ECMP shape ordering).  --force
+# so CI always measures the current tree instead of trusting the cache.
+campaign-quick:
+	dune exec bin/themis_campaign_cli.exe -- run --preset quick --workers 2 --force --quiet
+	dune exec bin/themis_campaign_cli.exe -- gate --preset quick
+
+# Regenerate every paper figure/study/fuzz campaign and refreeze the
+# committed baselines (run after an intentional model change).
+campaign-refreeze:
+	for p in quick fig1 fig5a incast ablation fuzz; do \
+	  dune exec bin/themis_campaign_cli.exe -- run --preset $$p --workers 4 --force --quiet && \
+	  dune exec bin/themis_campaign_cli.exe -- freeze --preset $$p || exit 1; \
+	done
+
+check: build test examples micro fuzz-quick campaign-quick
 	@echo "check: OK"
 
 clean:

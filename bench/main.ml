@@ -20,20 +20,50 @@ let section title =
   Format.printf "@.==================== %s ====================@." title
 
 (* ------------------------------------------------------------------ *)
+(* Machine-readable results: every figure run is also filed into the
+   campaign result store (content-addressed by its canonical job
+   string), so bench runs seed the same BENCH_*.json perf trajectory
+   the campaign orchestrator reads and gates against. *)
+
+let store =
+  lazy
+    (Campaign_store.open_
+       ~dir:
+         (match Sys.getenv_opt "THEMIS_RESULT_DIR" with
+         | Some d -> d
+         | None -> "_campaign"))
+
+let saved = ref 0
+
+let save_result r =
+  Campaign_store.save (Lazy.force store) r;
+  incr saved
+
+let report_saved () =
+  if !saved > 0 then
+    Format.printf "@.[store] %d result(s) filed under %s/@." !saved
+      (Campaign_store.dir (Lazy.force store))
+
+(* ------------------------------------------------------------------ *)
 (* Figure 1: motivation experiment                                     *)
 (* ------------------------------------------------------------------ *)
+
+let transport_name = function `Sr -> "sr" | `Gbn -> "gbn" | `Ideal -> "ideal"
 
 let motivation_cache : (Rnic.transport * Experiment.motivation_result) list ref =
   ref []
 
+(* The default motivation config, run through the campaign runner so the
+   stored JSON carries the same store key a `fig1` campaign would use. *)
 let motivation transport =
   match List.assoc_opt transport !motivation_cache with
   | Some r -> r
   | None ->
-      let r =
-        Experiment.run_motivation
-          { Experiment.default_motivation with Experiment.transport }
+      let r, result =
+        Campaign_runner.fig1 ~transport:(transport_name transport) ~mb:10
+          ~seed:Experiment.default_motivation.Experiment.seed
       in
+      save_result result;
       motivation_cache := (transport, r) :: !motivation_cache;
       r
 
@@ -92,15 +122,14 @@ let fig5 coll ~mb title =
       Format.printf "%-14s" (Network.scheme_to_string scheme);
       List.iter
         (fun (ti_us, td_us) ->
-          let cfg =
-            {
-              (Experiment.default_eval ~scheme ~coll ()) with
-              Experiment.bytes_per_group = mb * 1_000_000;
-              ti_us;
-              td_us;
-            }
+          let r, result =
+            Campaign_runner.fig5 ~fabric:Campaign_spec.Eval8
+              ~scheme:(Network.scheme_to_string scheme)
+              ~coll:(Experiment.coll_to_string coll)
+              ~mb ~ti_us:(int_of_float ti_us) ~td_us:(int_of_float td_us)
+              ~seed:11
           in
-          let r = Experiment.run_collective cfg in
+          save_result result;
           Hashtbl.replace tails (Network.scheme_to_string scheme, ti_us, td_us)
             r.Experiment.tail_ct_ms;
           Format.printf "  %12.3f" r.Experiment.tail_ct_ms)
@@ -197,7 +226,14 @@ let ablations () =
     (fun r ->
       Format.printf "%-26s %8.1f Gbps %11.3f %14d@." r.Ablation.label
         r.Ablation.goodput_gbps r.Ablation.retx_ratio r.Ablation.nacks_to_sender)
-    (Ablation.filtering ())
+    (Ablation.filtering ());
+  (* File one flattened result per study alongside the tables (seed 5 is
+     the Ablation default the tables above used). *)
+  List.iter
+    (fun study ->
+      save_result
+        (Campaign_runner.run_job (Campaign_spec.Ablation_job { study; seed = 5 })))
+    Campaign_spec.studies_known
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -306,6 +342,7 @@ let micro () =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false ()
   in
   Format.printf "%-48s %14s@." "primitive" "cost";
+  let measured = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -313,11 +350,27 @@ let micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> Format.printf "%-48s %10.1f ns/op@." name est
+          | Some (est :: _) ->
+              measured := (name, est) :: !measured;
+              Format.printf "%-48s %10.1f ns/op@." name est
           | Some [] | None -> Format.printf "%-48s %14s@." name "n/a")
         analyzed)
     tests;
-  Telemetry.disable ()
+  Telemetry.disable ();
+  (* Machine-dependent, so filed under a free-form id the gate ignores:
+     a perf trajectory, not a regression contract. *)
+  let sanitize n =
+    String.map
+      (fun c ->
+        match Char.lowercase_ascii c with
+        | ('a' .. 'z' | '0' .. '9') as c -> c
+        | _ -> '_')
+      n
+  in
+  save_result
+    (Campaign_result.make_raw ~id:"bench:micro"
+       ~metrics:
+         (List.rev_map (fun (n, v) -> (sanitize n ^ "_ns", v)) !measured))
 
 (* ------------------------------------------------------------------ *)
 
@@ -348,4 +401,5 @@ let () =
           Format.eprintf "unknown bench target %S; available: %s all@." t
             (String.concat " " (List.map fst all_targets));
           exit 2)
-    targets
+    targets;
+  report_saved ()

@@ -1,0 +1,32 @@
+(** Minimal JSON with a canonical printer.
+
+    The campaign subsystem stores every result as JSON on disk and
+    compares serial and parallel campaign outputs {e byte for byte}, so
+    rendering must be a pure function of the value: objects print their
+    fields in the order given, numbers use a canonical shortest
+    round-tripping form, and no whitespace is emitted.  The parser
+    accepts standard JSON (it is only ever pointed at our own output and
+    at hand-edited baseline files). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val float_to_string : float -> string
+(** Canonical: integral values print as integers, everything else as the
+    shortest of [%.12g]/[%.17g] that round-trips bit-exactly. *)
+
+val to_string : t -> string
+(** Compact (no whitespace), field order preserved. *)
+
+val of_string : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing field or non-object. *)
+
+val to_float : t -> float option
+val to_str : t -> string option

@@ -1,0 +1,239 @@
+type failure = { f_job : string; f_hash : string; f_reason : string }
+
+type summary = {
+  s_total : int;
+  s_cached : int;
+  s_executed : int;
+  s_failures : failure list;
+  s_wall_s : float;
+  s_job_wall_s : float;
+  s_max_heap_words : int;
+}
+
+let ok s = s.s_failures = []
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "jobs %d: %d cached, %d executed, %d failed  (wall %.1fs, cpu-job %.1fs, max worker heap %d w)"
+    s.s_total s.s_cached s.s_executed
+    (List.length s.s_failures)
+    s.s_wall_s s.s_job_wall_s s.s_max_heap_words;
+  List.iter
+    (fun f -> Format.fprintf ppf "@.  FAILED %s  %s: %s" f.f_hash f.f_job f.f_reason)
+    s.s_failures
+
+(* Deduplicate by content hash, keeping first occurrence order. *)
+let dedupe jobs =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun j ->
+      let h = Campaign_spec.job_hash j in
+      if Hashtbl.mem seen h then false
+      else (
+        Hashtbl.replace seen h ();
+        true))
+    jobs
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+(* ------------------------------------------------------------------ *)
+(* Serial reference path. *)
+
+let run_serial ~force ~log ~store jobs =
+  let t0 = Unix.gettimeofday () in
+  let cached = ref 0 and executed = ref 0 and job_wall = ref 0. in
+  let failures = ref [] in
+  List.iter
+    (fun job ->
+      let hash = Campaign_spec.job_hash job in
+      if (not force) && Campaign_store.mem store hash then (
+        incr cached;
+        log (Printf.sprintf "cached   %s  %s" hash
+               (Campaign_spec.job_to_string job)))
+      else
+        let start = Unix.gettimeofday () in
+        match Campaign_runner.run_job job with
+        | r ->
+            Campaign_store.save store r;
+            let wall = Unix.gettimeofday () -. start in
+            job_wall := !job_wall +. wall;
+            incr executed;
+            log (Printf.sprintf "ran      %s  %s  (%.2fs)" hash
+                   (Campaign_spec.job_to_string job) wall)
+        | exception e ->
+            let reason = "crash: " ^ one_line (Printexc.to_string e) in
+            failures :=
+              { f_job = Campaign_spec.job_to_string job; f_hash = hash;
+                f_reason = reason }
+              :: !failures;
+            log (Printf.sprintf "FAILED   %s  %s  %s" hash
+                   (Campaign_spec.job_to_string job) reason))
+    jobs;
+  {
+    s_total = List.length jobs;
+    s_cached = !cached;
+    s_executed = !executed;
+    s_failures = List.rev !failures;
+    s_wall_s = Unix.gettimeofday () -. t0;
+    s_job_wall_s = !job_wall;
+    s_max_heap_words = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Forked pool. *)
+
+type slot = {
+  pid : int;
+  fd : Unix.file_descr;  (** Read end of the worker's status pipe. *)
+  job : Campaign_spec.job;
+  hash : string;
+  attempts : int;  (** This execution's attempt number, 1-based. *)
+  start : float;
+}
+
+let read_all fd =
+  let buf = Buffer.create 64 in
+  let chunk = Bytes.create 256 in
+  let rec go () =
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes buf chunk 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let write_line fd s =
+  let b = Bytes.of_string (s ^ "\n") in
+  let rec go off =
+    if off < Bytes.length b then
+      match Unix.write fd b off (Bytes.length b - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let spawn ~store job ~hash ~attempts =
+  let r, w = Unix.pipe () in
+  match Unix.fork () with
+  | 0 ->
+      (* Worker.  Status goes through the raw pipe fd (no channel
+         buffering to double-flush) and exit is _exit so the parent's
+         at_exit machinery never runs here. *)
+      Unix.close r;
+      (try
+         let result = Campaign_runner.run_job job in
+         Campaign_store.save store result;
+         let heap = (Gc.quick_stat ()).Gc.top_heap_words in
+         write_line w (Printf.sprintf "ok %d" heap)
+       with e -> write_line w ("err " ^ one_line (Printexc.to_string e)));
+      Unix.close w;
+      Unix._exit 0
+  | pid ->
+      Unix.close w;
+      { pid; fd = r; job; hash; attempts; start = Unix.gettimeofday () }
+
+let run_forked ~workers ~timeout_s ~retries ~force ~log ~store jobs =
+  let t0 = Unix.gettimeofday () in
+  let pending = Queue.create () in
+  List.iter (fun j -> Queue.add (j, 1) pending) jobs;
+  let running : slot list ref = ref [] in
+  let cached = ref 0 and executed = ref 0 and job_wall = ref 0. in
+  let max_heap = ref 0 in
+  let failures = ref [] in
+  let jobline slot = Campaign_spec.job_to_string slot.job in
+  let finish_failure slot reason =
+    if slot.attempts <= retries then (
+      log (Printf.sprintf "retry    %s  %s  (%s)" slot.hash (jobline slot)
+             reason);
+      Queue.add (slot.job, slot.attempts + 1) pending)
+    else (
+      failures :=
+        { f_job = jobline slot; f_hash = slot.hash; f_reason = reason }
+        :: !failures;
+      log (Printf.sprintf "FAILED   %s  %s  %s" slot.hash (jobline slot) reason))
+  in
+  let reap slot status =
+    let wall = Unix.gettimeofday () -. slot.start in
+    let out = read_all slot.fd in
+    Unix.close slot.fd;
+    job_wall := !job_wall +. wall;
+    match status with
+    | Unix.WEXITED 0 when String.length out >= 3 && String.sub out 0 3 = "ok " ->
+        (match
+           int_of_string_opt (String.trim (String.sub out 3 (String.length out - 3)))
+         with
+        | Some heap -> if heap > !max_heap then max_heap := heap
+        | None -> ());
+        incr executed;
+        log (Printf.sprintf "ran      %s  %s  (%.2fs)" slot.hash (jobline slot)
+               wall)
+    | Unix.WEXITED _ ->
+        let reason =
+          if String.length out >= 4 && String.sub out 0 4 = "err " then
+            "crash: "
+            ^ String.trim (String.sub out 4 (String.length out - 4))
+          else "crash: worker exited without status"
+        in
+        finish_failure slot reason
+    | Unix.WSIGNALED n | Unix.WSTOPPED n ->
+        finish_failure slot (Printf.sprintf "crash: worker killed by signal %d" n)
+  in
+  while (not (Queue.is_empty pending)) || !running <> [] do
+    (* Fill free slots in spec order; warm hits never fork. *)
+    let filled = ref false in
+    while List.length !running < workers && not (Queue.is_empty pending) do
+      let job, attempts = Queue.take pending in
+      let hash = Campaign_spec.job_hash job in
+      if (not force) && attempts = 1 && Campaign_store.mem store hash then (
+        incr cached;
+        log (Printf.sprintf "cached   %s  %s" hash
+               (Campaign_spec.job_to_string job)))
+      else (
+        filled := true;
+        running := !running @ [ spawn ~store job ~hash ~attempts ])
+    done;
+    let progressed = ref !filled in
+    running :=
+      List.filter
+        (fun slot ->
+          match Unix.waitpid [ Unix.WNOHANG ] slot.pid with
+          | 0, _ ->
+              if Unix.gettimeofday () -. slot.start > timeout_s then (
+                (try Unix.kill slot.pid Sys.sigkill with Unix.Unix_error _ -> ());
+                ignore (Unix.waitpid [] slot.pid);
+                let wall = Unix.gettimeofday () -. slot.start in
+                job_wall := !job_wall +. wall;
+                let out = read_all slot.fd in
+                ignore out;
+                Unix.close slot.fd;
+                finish_failure slot
+                  (Printf.sprintf "timeout after %.0fs" timeout_s);
+                progressed := true;
+                false)
+              else true
+          | _, status ->
+              reap slot status;
+              progressed := true;
+              false)
+        !running;
+    if not !progressed then ignore (Unix.sleepf 0.002)
+  done;
+  {
+    s_total = List.length jobs;
+    s_cached = !cached;
+    s_executed = !executed;
+    s_failures = List.rev !failures;
+    s_wall_s = Unix.gettimeofday () -. t0;
+    s_job_wall_s = !job_wall;
+    s_max_heap_words = !max_heap;
+  }
+
+let run ?(workers = 1) ?(timeout_s = 300.) ?(retries = 1) ?(force = false)
+    ?(log = fun _ -> ()) ~store jobs =
+  let jobs = dedupe jobs in
+  if workers <= 1 then run_serial ~force ~log ~store jobs
+  else run_forked ~workers ~timeout_s ~retries ~force ~log ~store jobs

@@ -1,0 +1,54 @@
+(** Unix-fork worker pool for campaign jobs.
+
+    Parallelism is process-based by necessity: the simulator keeps
+    global state (the packet-uid counter, the telemetry context), so
+    OCaml 5 domains would race on it.  Every executed job gets its own
+    forked worker — the strongest isolation: a crash, a runaway
+    allocation or a wedged simulation kills one process, not the
+    campaign.  Jobs are dispatched to free worker slots in spec order
+    (deterministic sharding); because results are content-addressed
+    files written atomically by the worker, the merged store is
+    independent of scheduling and byte-identical to a serial run.
+
+    Per job the pool accounts wall time and the worker's top heap size,
+    enforces a timeout (SIGKILL + retry, [retries] attempts), and
+    captures crashes as failure records carrying the canonical job
+    string — a campaign never aborts because one cell died.
+
+    [workers <= 1] runs everything in-process (same caching, no
+    isolation or timeouts) — this is the reference serial path the
+    byte-identity tests compare against. *)
+
+type failure = {
+  f_job : string;  (** Canonical job string — the reproducer:
+                       [themis_campaign_cli exec '<job>']. *)
+  f_hash : string;
+  f_reason : string;  (** ["crash: ..."], ["timeout after Ns"], ... *)
+}
+
+type summary = {
+  s_total : int;  (** Distinct jobs (after hash dedup). *)
+  s_cached : int;  (** Warm store hits: not executed at all. *)
+  s_executed : int;
+  s_failures : failure list;
+  s_wall_s : float;  (** Campaign wall clock. *)
+  s_job_wall_s : float;  (** Sum of per-job wall clocks. *)
+  s_max_heap_words : int;  (** Largest worker top-heap (0 serially). *)
+}
+
+val ok : summary -> bool
+
+val run :
+  ?workers:int ->
+  ?timeout_s:float ->
+  ?retries:int ->
+  ?force:bool ->
+  ?log:(string -> unit) ->
+  store:Campaign_store.t ->
+  Campaign_spec.job list ->
+  summary
+(** Defaults: [workers = 1], [timeout_s = 300.], [retries = 1] (one
+    retry after a timeout/crash), [force = false] ([true] re-executes
+    jobs whose results are already stored). *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,16 @@
+(** Aggregate stored results into the EXPERIMENTS.md-style tables.
+
+    [render] prints GitHub-flavoured pipe tables (readable both on a
+    terminal and pasted into docs): for Fig. 5 campaigns a scheme x
+    DCQCN matrix of tail completion times per (fabric, collective, size,
+    seed) grid point with the paper's Themis-vs-AR headline reduction,
+    and flat metric tables for the other targets.  Jobs whose result is
+    missing from the store are listed so a partially-run campaign is
+    visible at a glance. *)
+
+val render :
+  Format.formatter ->
+  spec:Campaign_spec.t ->
+  lookup:(string -> Campaign_result.t option) ->
+  unit ->
+  unit

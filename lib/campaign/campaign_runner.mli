@@ -1,0 +1,39 @@
+(** Execute one campaign job in the current process.
+
+    Every run starts from a clean global state — packet-uid counter
+    reset, a fresh typed-telemetry context installed for the duration of
+    the job — so that executing a job in-process after other jobs (the
+    serial pool path) yields {e exactly} the same result record as
+    executing it in a freshly forked worker.  The periodic telemetry
+    sampler is deliberately left off: it would inject engine events and
+    perturb the simulation relative to the plain bench runs.
+
+    The typed entry points ([fig1], [fig5], [incast]) also return the
+    rich experiment record so [bench/main.ml] can keep printing its
+    tables from a single run while saving the canonical result. *)
+
+val fig1 :
+  transport:string -> mb:int -> seed:int ->
+  Experiment.motivation_result * Campaign_result.t
+
+val fig5 :
+  fabric:Campaign_spec.fabric -> scheme:string -> coll:string -> mb:int ->
+  ti_us:int -> td_us:int -> seed:int ->
+  Experiment.eval_result * Campaign_result.t
+
+val incast :
+  scheme:string -> fanin:int -> mb:int -> seed:int ->
+  Experiment.incast_result * Campaign_result.t
+
+val run_job : Campaign_spec.job -> Campaign_result.t
+(** Dispatch on the job kind.  Raises [Invalid_argument] on unresolvable
+    names (callers validate specs first) and propagates simulator
+    failures — the pool converts those into per-job crash records. *)
+
+val headline_metrics : Campaign_spec.job -> string list
+(** The metrics {!Campaign_gate} holds inside the tolerance band for
+    this job kind (e.g. [tail_ct_ms] for Fig. 5 cells). *)
+
+val tele_metrics :
+  Experiment.telemetry_summary option -> (string * float) list
+(** Flatten a telemetry summary into [tele_*] metrics ([[]] on [None]). *)
