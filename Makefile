@@ -1,8 +1,8 @@
 # Tooling entry points. `make check` is the CI gate: it must stay green
 # on every commit.
 
-.PHONY: all build test examples micro fuzz-quick fuzz-soak campaign-quick \
-        check clean
+.PHONY: all build test examples micro bench-engine bench-engine-smoke \
+        fuzz-quick fuzz-soak campaign-quick check clean
 
 all: build
 
@@ -25,6 +25,17 @@ examples:
 # Telemetry/data-plane hot paths; the histogram record budget is 100 ns.
 micro:
 	dune exec bench/main.exe -- micro
+
+# Engine/data-plane allocation benchmark (DESIGN.md §10): events/sec,
+# minor words/event and campaign wall-clock vs the frozen pre-refactor
+# baseline, written to BENCH_engine.json with before/after ratios.
+bench-engine:
+	dune exec bench/engine_bench.exe -- --out BENCH_engine.json
+
+# Smoke variant for CI: tiny iteration counts, no timing gate — only
+# asserts the harness runs and emits valid JSON with the expected keys.
+bench-engine-smoke:
+	dune exec bench/engine_bench.exe -- --smoke --out _build/BENCH_engine.smoke.json
 
 # Randomized fault-injection sweep with invariant oracles (DESIGN.md §8).
 # 200 scenarios x every scheme normally finishes in ~2 s; the wall budget
@@ -51,7 +62,7 @@ campaign-refreeze:
 	  dune exec bin/themis_campaign_cli.exe -- freeze --preset $$p || exit 1; \
 	done
 
-check: build test examples micro fuzz-quick campaign-quick
+check: build test examples micro bench-engine-smoke fuzz-quick campaign-quick
 	@echo "check: OK"
 
 clean:

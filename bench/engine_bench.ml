@@ -1,0 +1,264 @@
+(* Engine hot-path benchmark: events/sec, minor-heap words per simulated
+   event and wall-clock for the quick/incast presets (DESIGN.md §10).
+
+   Emits BENCH_engine.json so perf is tracked PR-over-PR.  The numbers
+   under "baseline" were measured on the pre-optimization tree (commit
+   aaa39e0, closure-per-event engine) on the same machine class that runs
+   `make check`; "current" is re-measured on every invocation, and the
+   "ratio" block is current-vs-baseline.  `--smoke` runs a tiny iteration
+   count and validates the emitted JSON — it gates `make check` without
+   costing CI time; real numbers come from `make bench-engine`. *)
+
+let out_path = ref "BENCH_engine.json"
+let smoke = ref false
+
+(* --- measurement ------------------------------------------------------ *)
+
+type sample = {
+  events : int;
+  wall_s : float;
+  minor_words : float;
+}
+
+let events_per_sec s =
+  if s.wall_s > 0. then float_of_int s.events /. s.wall_s else 0.
+
+let words_per_event s =
+  if s.events > 0 then s.minor_words /. float_of_int s.events else 0.
+
+let measure f =
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let events = f () in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. words0 in
+  { events; wall_s; minor_words }
+
+(* --- targets ---------------------------------------------------------- *)
+
+(* Synthetic self-rescheduling event mill: [width] concurrent timers,
+   each firing reschedules itself at a deterministic pseudo-random
+   offset, so the heap stays [width] deep and every event exercises
+   add + pop + dispatch. *)
+let bench_mill ~events =
+  let width = 512 in
+  let eng = Engine.create () in
+  let fired = ref 0 in
+  let rec tick i () =
+    incr fired;
+    let delay = Sim_time.ns (1 + ((i * 31) + !fired) land 255) in
+    ignore (Engine.schedule eng ~delay (tick i))
+  in
+  for i = 0 to width - 1 do
+    ignore (Engine.schedule eng ~delay:(Sim_time.ns (i land 63)) (tick i))
+  done;
+  measure (fun () ->
+      Engine.run eng ~max_events:events;
+      Engine.events_processed eng)
+
+(* The incast preset (Experiment.default_incast), replicated here rather
+   than called through Experiment so we can read the engine's event count
+   for the words/event metric.  Keep in sync with Experiment.run_incast. *)
+let bench_incast ~schemes ~fanin ~bytes ~seed =
+  measure (fun () ->
+      List.fold_left
+        (fun acc scheme_name ->
+          let scheme =
+            match Network.scheme_of_string scheme_name with
+            | Ok s -> s
+            | Error e -> failwith e
+          in
+          let fabric =
+            {
+              Leaf_spine.motivation with
+              Leaf_spine.hosts_per_leaf = fanin;
+              n_spines = 4;
+            }
+          in
+          let params =
+            let base = Network.default_params ~fabric ~scheme in
+            { base with Network.seed }
+          in
+          let net = Network.build params in
+          let ls = Network.fabric net in
+          let receiver = Leaf_spine.host ls ~leaf:1 ~index:0 in
+          let done_ = ref 0 in
+          for i = 0 to fanin - 1 do
+            let src = Leaf_spine.host ls ~leaf:0 ~index:i in
+            let qp = Network.connect net ~src ~dst:receiver in
+            Rnic.post_send qp ~bytes ~on_complete:(fun _ -> incr done_)
+          done;
+          Network.run net ~until:(Sim_time.sec 30);
+          if !done_ < fanin then failwith "engine_bench: incast incomplete";
+          acc + Engine.events_processed (Network.engine net))
+        0 schemes)
+
+(* The CI campaign grid, executed serially in-process: wall-clock here is
+   what a single `make campaign-quick` worker pays per job. *)
+let bench_quick () =
+  let spec =
+    match Campaign_spec.preset "quick" with
+    | Some s -> s
+    | None -> failwith "engine_bench: no quick preset"
+  in
+  let jobs = Campaign_spec.jobs_of spec in
+  let s =
+    measure (fun () ->
+        List.iter (fun j -> ignore (Campaign_runner.run_job j)) jobs;
+        List.length jobs)
+  in
+  (s, List.length jobs)
+
+(* --- baseline (pre-optimization tree) --------------------------------- *)
+
+type numbers = {
+  mill_eps : float;
+  mill_wpe : float;
+  incast_events : int;
+  incast_eps : float;
+  incast_wpe : float;
+  quick_jobs : int;
+  quick_wall_s : float;
+}
+
+(* Measured at commit aaa39e0 (closure-per-event engine, unpooled
+   packets) with this same harness; regenerate via EXPERIMENTS.md §
+   "Engine benchmark" after intentional model changes. *)
+let baseline : numbers option =
+  Some
+    {
+      mill_eps = 4298006.;
+      mill_wpe = 19.00;
+      incast_events = 330667;
+      incast_eps = 2971971.;
+      incast_wpe = 29.85;
+      quick_jobs = 6;
+      quick_wall_s = 5.36;
+    }
+
+(* --- JSON ------------------------------------------------------------- *)
+
+let j_sample s =
+  Campaign_json.Obj
+    [
+      ("events", Campaign_json.Num (float_of_int s.events));
+      ("wall_s", Campaign_json.Num s.wall_s);
+      ("events_per_sec", Campaign_json.Num (events_per_sec s));
+      ("minor_words_per_event", Campaign_json.Num (words_per_event s));
+    ]
+
+let j_baseline (b : numbers) =
+  Campaign_json.Obj
+    [
+      ("commit", Campaign_json.Str "aaa39e0");
+      ("mill_events_per_sec", Campaign_json.Num b.mill_eps);
+      ("mill_minor_words_per_event", Campaign_json.Num b.mill_wpe);
+      ("incast_events", Campaign_json.Num (float_of_int b.incast_events));
+      ("incast_events_per_sec", Campaign_json.Num b.incast_eps);
+      ("incast_minor_words_per_event", Campaign_json.Num b.incast_wpe);
+      ("quick_jobs", Campaign_json.Num (float_of_int b.quick_jobs));
+      ("quick_wall_s", Campaign_json.Num b.quick_wall_s);
+    ]
+
+let emit ~mill ~incast ~quick =
+  let ratios =
+    match (baseline, quick) with
+    | Some b, Some (q, _) ->
+        [
+          ( "ratios",
+            Campaign_json.Obj
+              [
+                ( "incast_minor_words_reduction",
+                  Campaign_json.Num (b.incast_wpe /. words_per_event incast) );
+                ( "quick_wall_speedup",
+                  Campaign_json.Num (b.quick_wall_s /. q.wall_s) );
+                ( "mill_events_per_sec_speedup",
+                  Campaign_json.Num (events_per_sec mill /. b.mill_eps) );
+              ] );
+        ]
+    | _ -> []
+  in
+  let quick_fields =
+    match quick with
+    | Some (q, jobs) ->
+        [
+          ( "quick",
+            Campaign_json.Obj
+              [
+                ("jobs", Campaign_json.Num (float_of_int jobs));
+                ("wall_s", Campaign_json.Num q.wall_s);
+              ] );
+        ]
+    | None -> []
+  in
+  let doc =
+    Campaign_json.Obj
+      ([
+         ("bench", Campaign_json.Str "engine");
+         ("mode", Campaign_json.Str (if !smoke then "smoke" else "full"));
+         ("mill", j_sample mill);
+         ("incast", j_sample incast);
+       ]
+      @ quick_fields
+      @ (match baseline with
+        | Some b -> [ ("baseline", j_baseline b) ]
+        | None -> [])
+      @ ratios)
+  in
+  let oc = open_out !out_path in
+  output_string oc (Campaign_json.to_string doc);
+  output_char oc '\n';
+  close_out oc
+
+(* The smoke path is the `make check` gate: it must prove the harness
+   runs end-to-end and that the file it wrote is valid JSON with the
+   fields the trajectory tooling reads. *)
+let validate_output () =
+  let ic = open_in !out_path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Campaign_json.of_string s with
+  | Error e -> failwith (Printf.sprintf "engine_bench: bad JSON emitted: %s" e)
+  | Ok doc ->
+      List.iter
+        (fun key ->
+          match Campaign_json.member key doc with
+          | Some _ -> ()
+          | None ->
+              failwith (Printf.sprintf "engine_bench: missing field %S" key))
+        [ "bench"; "mode"; "mill"; "incast" ]
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: path :: rest ->
+        out_path := path;
+        parse rest
+    | arg :: _ ->
+        prerr_endline ("usage: engine_bench [--smoke] [--out PATH]; got " ^ arg);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let mill = bench_mill ~events:(if !smoke then 20_000 else 4_000_000) in
+  let incast =
+    if !smoke then
+      bench_incast ~schemes:[ "ecmp" ] ~fanin:2 ~bytes:50_000 ~seed:3
+    else
+      bench_incast
+        ~schemes:[ "ecmp"; "adaptive"; "random-spray"; "themis" ]
+        ~fanin:8 ~bytes:1_000_000 ~seed:3
+  in
+  let quick = if !smoke then None else Some (bench_quick ()) in
+  emit ~mill ~incast ~quick;
+  validate_output ();
+  Printf.printf "engine_bench: mill %.0f ev/s, %.2f w/ev | incast %d ev, %.0f ev/s, %.2f w/ev%s\n"
+    (events_per_sec mill) (words_per_event mill) incast.events
+    (events_per_sec incast) (words_per_event incast)
+    (match quick with
+    | Some (q, jobs) -> Printf.sprintf " | quick %d jobs %.2f s" jobs q.wall_s
+    | None -> "");
+  Printf.printf "engine_bench: wrote %s\n" !out_path

@@ -292,8 +292,12 @@ let micro () =
     Test.make ~name:"event_queue: add+pop"
       (Staged.stage (fun () ->
            incr heap_counter;
-           Event_queue.add heap ~time:(!heap_counter land 1023) ();
-           if !heap_counter land 7 = 0 then ignore (Event_queue.pop heap)))
+           ignore
+             (Event_queue.add heap
+                ~time:(!heap_counter land 1023)
+                ~cb:0 ~a:0 ~b:0 ~obj:(Obj.repr ()));
+           if !heap_counter land 7 = 0 && not (Event_queue.is_empty heap)
+           then Event_queue.drop heap))
   in
   let packet_test =
     Test.make ~name:"packet: data constructor"

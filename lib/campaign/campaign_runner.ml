@@ -6,6 +6,7 @@ let ok_exn what = function
    bit-identical to a forked worker (see the .mli). *)
 let with_fresh_context f =
   Packet.reset_uid_counter ();
+  Packet_pool.reset ();
   Telemetry.disable ();
   ignore (Telemetry.enable ());
   Fun.protect ~finally:Telemetry.disable f

@@ -1,37 +1,77 @@
-type handle = { mutable state : [ `Pending | `Cancelled | `Fired ]; action : unit -> unit }
+type handle = Event_queue.handle
+type callback = int
+
+let none = Event_queue.none
+let null_callback = -1
 
 type t = {
-  queue : handle Event_queue.t;
+  queue : Event_queue.t;
   mutable now : Sim_time.t;
   mutable stop_requested : bool;
   mutable events_processed : int;
+  mutable callbacks : (int -> int -> Obj.t -> unit) array;
+  mutable n_callbacks : int;
 }
 
-let create () =
-  {
-    queue = Event_queue.create ();
-    now = Sim_time.zero;
-    stop_requested = false;
-    events_processed = 0;
-  }
+let register_callback t f =
+  let cap = Array.length t.callbacks in
+  if t.n_callbacks >= cap then begin
+    let next = Array.make (2 * cap) f in
+    Array.blit t.callbacks 0 next 0 t.n_callbacks;
+    t.callbacks <- next
+  end;
+  t.callbacks.(t.n_callbacks) <- f;
+  t.n_callbacks <- t.n_callbacks + 1;
+  t.n_callbacks - 1
+
+(* Callback 0, installed by [create]: runs a [unit -> unit] closure
+   carried in the event's obj slot — the legacy API rides on the
+   closure-free core. *)
+let closure_cb = 0
+
+let run_closure _ _ obj = (Obj.obj obj : unit -> unit) ()
+
+let create ?(capacity = 256) () =
+  let t =
+    {
+      queue = Event_queue.create ~capacity ();
+      now = Sim_time.zero;
+      stop_requested = false;
+      events_processed = 0;
+      callbacks = Array.make 8 run_closure;
+      n_callbacks = 0;
+    }
+  in
+  let id = register_callback t run_closure in
+  assert (id = closure_cb);
+  t
 
 let now t = t.now
 
+let past_error t time =
+  invalid_arg
+    (Format.asprintf "Engine.schedule_at: time %a is in the past (now %a)"
+       Sim_time.pp time Sim_time.pp t.now)
+
+let schedule_call_at t ~time cb ~a ~b ~obj =
+  if time < t.now then past_error t time;
+  Event_queue.add t.queue ~time ~cb ~a ~b ~obj
+
+let schedule_call t ~delay cb ~a ~b ~obj =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  Event_queue.add t.queue ~time:(t.now + delay) ~cb ~a ~b ~obj
+
 let schedule_at t ~time action =
-  if time < t.now then
-    invalid_arg
-      (Format.asprintf "Engine.schedule_at: time %a is in the past (now %a)"
-         Sim_time.pp time Sim_time.pp t.now);
-  let h = { state = `Pending; action } in
-  Event_queue.add t.queue ~time h;
-  h
+  if time < t.now then past_error t time;
+  Event_queue.add t.queue ~time ~cb:closure_cb ~a:0 ~b:0 ~obj:(Obj.repr action)
 
 let schedule t ~delay action =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.now + delay) action
+  Event_queue.add t.queue ~time:(t.now + delay) ~cb:closure_cb ~a:0 ~b:0
+    ~obj:(Obj.repr action)
 
-let cancel h = if h.state = `Pending then h.state <- `Cancelled
-let is_pending h = h.state = `Pending
+let cancel t h = Event_queue.cancel t.queue h
+let is_pending t h = Event_queue.is_pending t.queue h
 
 let run ?until ?max_events t =
   t.stop_requested <- false;
@@ -39,23 +79,31 @@ let run ?until ?max_events t =
   let horizon = match until with Some u -> u | None -> max_int in
   let continue = ref true in
   while !continue && not t.stop_requested && !budget > 0 do
-    match Event_queue.peek_time t.queue with
-    | None -> continue := false
-    | Some time when time > horizon ->
+    if Event_queue.is_empty t.queue then continue := false
+    else begin
+      let time = Event_queue.peek_time_unsafe t.queue in
+      if time > horizon then begin
         t.now <- horizon;
         continue := false
-    | Some _ -> (
-        match Event_queue.pop t.queue with
-        | None -> continue := false
-        | Some (time, h) -> (
-            t.now <- time;
-            match h.state with
-            | `Cancelled | `Fired -> ()
-            | `Pending ->
-                h.state <- `Fired;
-                t.events_processed <- t.events_processed + 1;
-                decr budget;
-                h.action ()))
+      end
+      else if Event_queue.top_cancelled t.queue then begin
+        (* Lazy deletion: the clock still advances over cancelled events
+           (matching the original engine), but they cost no budget. *)
+        t.now <- time;
+        Event_queue.drop t.queue
+      end
+      else begin
+        let cb = Event_queue.top_cb t.queue in
+        let a = Event_queue.top_a t.queue in
+        let b = Event_queue.top_b t.queue in
+        let obj = Event_queue.top_obj t.queue in
+        Event_queue.drop t.queue;
+        t.now <- time;
+        t.events_processed <- t.events_processed + 1;
+        decr budget;
+        (Array.unsafe_get t.callbacks cb) a b obj
+      end
+    end
   done;
   if Event_queue.is_empty t.queue then
     match until with

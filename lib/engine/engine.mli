@@ -1,20 +1,54 @@
 (** The discrete-event simulation driver.
 
-    An engine owns the simulated clock and a queue of pending events.  An
-    event is an arbitrary closure; scheduling returns a handle that can be
-    used to cancel the event before it fires.  Execution is strictly ordered
-    by (time, scheduling order), so a run is a deterministic function of the
-    initial schedule and the callbacks' behaviour. *)
+    An engine owns the simulated clock and a queue of pending events.
+    Execution is strictly ordered by (time, scheduling order), so a run
+    is a deterministic function of the initial schedule and the
+    callbacks' behaviour.
+
+    Events are closure-free: components register a callback once (at
+    construction time) and every subsequent event carries only the
+    callback id plus an immediate payload — two int arguments and one
+    reusable [Obj.t] slot — so scheduling on the hot path allocates
+    nothing (see DESIGN.md §10).  The original closure API
+    ([schedule]/[schedule_at]) remains for cold paths and tests; it is
+    implemented on top of the callback form and costs one closure
+    allocation per event, exactly as before. *)
 
 type t
 
-type handle
-(** A scheduled event. *)
+type handle = int
+(** A scheduled event.  Handles are generation-tagged ints from the
+    queue's slot freelist: [none] (and any handle whose event already
+    fired or was dropped) never matches a live event, so storing [none]
+    replaces the [handle option] idiom without allocating. *)
 
-val create : unit -> t
+type callback = int
+(** Index into the engine's callback registry. *)
+
+val none : handle
+val null_callback : callback
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] preallocates the event queue (default 256 events). *)
 
 val now : t -> Sim_time.t
 (** Current simulated time. *)
+
+val register_callback : t -> (int -> int -> Obj.t -> unit) -> callback
+(** Register a dispatch function once; the returned id is what events
+    carry.  Registration allocates — do it at component construction,
+    never on the event path.  The function receives the event's [a], [b]
+    and [obj] payload. *)
+
+val schedule_call :
+  t -> delay:Sim_time.t -> callback -> a:int -> b:int -> obj:Obj.t -> handle
+(** Closure-free scheduling: runs the registered callback at
+    [now t + delay] with the given payload.  [delay] must be
+    non-negative.  Allocates nothing in steady state. *)
+
+val schedule_call_at :
+  t -> time:Sim_time.t -> callback -> a:int -> b:int -> obj:Obj.t -> handle
+(** As [schedule_call] at absolute [time >= now t]. *)
 
 val schedule : t -> delay:Sim_time.t -> (unit -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at [now t + delay].  [delay] must be
@@ -23,10 +57,11 @@ val schedule : t -> delay:Sim_time.t -> (unit -> unit) -> handle
 val schedule_at : t -> time:Sim_time.t -> (unit -> unit) -> handle
 (** [schedule_at t ~time f] runs [f] at absolute [time >= now t]. *)
 
-val cancel : handle -> unit
-(** Cancelling an already-fired or already-cancelled event is a no-op. *)
+val cancel : t -> handle -> unit
+(** Cancelling an already-fired or already-cancelled event (or [none])
+    is a no-op. *)
 
-val is_pending : handle -> bool
+val is_pending : t -> handle -> bool
 
 val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
 (** Process events in order until the queue drains, [until] is passed, or

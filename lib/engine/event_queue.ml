@@ -1,73 +1,207 @@
-type 'a entry = { time : Sim_time.t; seq : int; payload : 'a }
+type handle = int
 
-type 'a t = {
-  mutable heap : 'a entry array;
+let none : handle = -1
+
+(* A handle packs (generation lsl slot_bits) lor slot.  24 bits of slot
+   index bounds the arena at ~16.7M *simultaneous* events — far beyond
+   any simulated working set — and leaves 38 generation bits on 63-bit
+   ints, enough that a slot reused once per simulated nanosecond would
+   take years of sim time to wrap. *)
+let slot_bits = 24
+let slot_mask = (1 lsl slot_bits) - 1
+
+type t = {
+  (* Min-heap over (time, seq), structure-of-arrays: the sift loops
+     compare and shuffle unboxed ints only. *)
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable slots : int array;
   mutable size : int;
   mutable next_seq : int;
+  (* Slot arena: per-event payload, recycled through [free_head]. *)
+  mutable cbs : int array;
+  mutable args_a : int array;
+  mutable args_b : int array;
+  mutable objs : Obj.t array;
+  mutable gens : int array;
+  mutable dead : bool array;
+  mutable free_next : int array;
+  mutable free_head : int;
 }
 
+let obj_unit = Obj.repr ()
+
 let create ?(capacity = 256) () =
-  ignore capacity;
-  { heap = [||]; size = 0; next_seq = 0 }
+  let cap = if capacity < 1 then 1 else capacity in
+  {
+    times = Array.make cap 0;
+    seqs = Array.make cap 0;
+    slots = Array.make cap 0;
+    size = 0;
+    next_seq = 0;
+    cbs = Array.make cap 0;
+    args_a = Array.make cap 0;
+    args_b = Array.make cap 0;
+    objs = Array.make cap obj_unit;
+    gens = Array.make cap 0;
+    dead = Array.make cap false;
+    free_next = Array.init cap (fun i -> if i = cap - 1 then -1 else i + 1);
+    free_head = 0;
+  }
 
-let entry_before a b =
-  a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let extend src ncap pad =
+  let dst = Array.make ncap pad in
+  Array.blit src 0 dst 0 (Array.length src);
+  dst
 
-let grow q e =
-  let cap = Array.length q.heap in
-  if q.size >= cap then begin
-    let ncap = Stdlib.max 64 (cap * 2) in
-    let nheap = Array.make ncap e in
-    Array.blit q.heap 0 nheap 0 q.size;
-    q.heap <- nheap
+let grow_heap q =
+  let ncap = Stdlib.max 64 (2 * Array.length q.times) in
+  q.times <- extend q.times ncap 0;
+  q.seqs <- extend q.seqs ncap 0;
+  q.slots <- extend q.slots ncap 0
+
+let grow_arena q =
+  let cap = Array.length q.cbs in
+  let ncap = Stdlib.max 64 (2 * cap) in
+  if ncap > slot_mask + 1 then failwith "Event_queue: slot arena overflow";
+  q.cbs <- extend q.cbs ncap 0;
+  q.args_a <- extend q.args_a ncap 0;
+  q.args_b <- extend q.args_b ncap 0;
+  q.objs <- extend q.objs ncap obj_unit;
+  q.gens <- extend q.gens ncap 0;
+  q.dead <- extend q.dead ncap false;
+  q.free_next <- extend q.free_next ncap 0;
+  for i = cap to ncap - 1 do
+    q.free_next.(i) <- (if i = ncap - 1 then -1 else i + 1)
+  done;
+  q.free_head <- cap
+
+(* Hole-percolation sift-up: the new element's (time, seq, slot) ride in
+   registers while ancestors shift down, so each level is one compare and
+   three int stores. *)
+let rec sift_up q i ~time ~seq ~slot =
+  if i = 0 then begin
+    q.times.(0) <- time;
+    q.seqs.(0) <- seq;
+    q.slots.(0) <- slot
   end
-
-let rec sift_up q i =
-  if i > 0 then begin
+  else begin
     let parent = (i - 1) / 2 in
-    if entry_before q.heap.(i) q.heap.(parent) then begin
-      let tmp = q.heap.(i) in
-      q.heap.(i) <- q.heap.(parent);
-      q.heap.(parent) <- tmp;
-      sift_up q parent
+    let pt = Array.unsafe_get q.times parent in
+    if time < pt || (time = pt && seq < Array.unsafe_get q.seqs parent) then begin
+      q.times.(i) <- pt;
+      q.seqs.(i) <- Array.unsafe_get q.seqs parent;
+      q.slots.(i) <- Array.unsafe_get q.slots parent;
+      sift_up q parent ~time ~seq ~slot
+    end
+    else begin
+      q.times.(i) <- time;
+      q.seqs.(i) <- seq;
+      q.slots.(i) <- slot
     end
   end
 
-let rec sift_down q i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < q.size && entry_before q.heap.(l) q.heap.(!smallest) then
-    smallest := l;
-  if r < q.size && entry_before q.heap.(r) q.heap.(!smallest) then
-    smallest := r;
-  if !smallest <> i then begin
-    let tmp = q.heap.(i) in
-    q.heap.(i) <- q.heap.(!smallest);
-    q.heap.(!smallest) <- tmp;
-    sift_down q !smallest
+(* Direct recursion on the child index; each level hoists the candidate
+   children's keys into locals once, so the comparator path is
+   branch-and-load only (no refs, no entry records). *)
+let rec sift_down q i ~time ~seq ~slot =
+  let l = (2 * i) + 1 in
+  if l >= q.size then begin
+    q.times.(i) <- time;
+    q.seqs.(i) <- seq;
+    q.slots.(i) <- slot
   end
-
-let add q ~time payload =
-  let e = { time; seq = q.next_seq; payload } in
-  q.next_seq <- q.next_seq + 1;
-  grow q e;
-  q.heap.(q.size) <- e;
-  q.size <- q.size + 1;
-  sift_up q (q.size - 1)
-
-let pop q =
-  if q.size = 0 then None
   else begin
-    let top = q.heap.(0) in
-    q.size <- q.size - 1;
-    if q.size > 0 then begin
-      q.heap.(0) <- q.heap.(q.size);
-      sift_down q 0
-    end;
-    Some (top.time, top.payload)
+    let r = l + 1 in
+    let c =
+      if r < q.size then begin
+        let lt = Array.unsafe_get q.times l
+        and rt = Array.unsafe_get q.times r in
+        if
+          rt < lt
+          || (rt = lt && Array.unsafe_get q.seqs r < Array.unsafe_get q.seqs l)
+        then r
+        else l
+      end
+      else l
+    in
+    let ct = Array.unsafe_get q.times c in
+    if ct < time || (ct = time && Array.unsafe_get q.seqs c < seq) then begin
+      q.times.(i) <- ct;
+      q.seqs.(i) <- Array.unsafe_get q.seqs c;
+      q.slots.(i) <- Array.unsafe_get q.slots c;
+      sift_down q c ~time ~seq ~slot
+    end
+    else begin
+      q.times.(i) <- time;
+      q.seqs.(i) <- seq;
+      q.slots.(i) <- slot
+    end
   end
 
-let peek_time q = if q.size = 0 then None else Some q.heap.(0).time
+let add q ~time ~cb ~a ~b ~obj =
+  if q.free_head < 0 then grow_arena q;
+  let s = q.free_head in
+  q.free_head <- q.free_next.(s);
+  q.cbs.(s) <- cb;
+  q.args_a.(s) <- a;
+  q.args_b.(s) <- b;
+  q.objs.(s) <- obj;
+  q.dead.(s) <- false;
+  if q.size >= Array.length q.times then grow_heap q;
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  let i = q.size in
+  q.size <- q.size + 1;
+  sift_up q i ~time ~seq ~slot:s;
+  (q.gens.(s) lsl slot_bits) lor s
+
+(* A slot's generation only matches handles minted for its current
+   occupant: [free_slot] bumps it, so stale handles (and [none]) fail the
+   comparison and can never touch a recycled slot. *)
+let live_slot q h =
+  if h < 0 then -1
+  else begin
+    let s = h land slot_mask in
+    if s < Array.length q.gens && q.gens.(s) = h asr slot_bits then s else -1
+  end
+
+let cancel q h =
+  let s = live_slot q h in
+  if s >= 0 then q.dead.(s) <- true
+
+let is_pending q h =
+  let s = live_slot q h in
+  s >= 0 && not q.dead.(s)
+
+let peek_time_unsafe q = Array.unsafe_get q.times 0
+let top_slot q = Array.unsafe_get q.slots 0
+let top_cancelled q = Array.unsafe_get q.dead (top_slot q)
+let top_cb q = Array.unsafe_get q.cbs (top_slot q)
+let top_a q = Array.unsafe_get q.args_a (top_slot q)
+let top_b q = Array.unsafe_get q.args_b (top_slot q)
+let top_obj q = Array.unsafe_get q.objs (top_slot q)
+
+let free_slot q s =
+  q.gens.(s) <- q.gens.(s) + 1;
+  q.objs.(s) <- obj_unit;
+  q.free_next.(s) <- q.free_head;
+  q.free_head <- s
+
+let drop q =
+  free_slot q q.slots.(0);
+  q.size <- q.size - 1;
+  let last = q.size in
+  if last > 0 then
+    sift_down q 0 ~time:q.times.(last) ~seq:q.seqs.(last) ~slot:q.slots.(last)
+
+let peek_time q = if q.size = 0 then None else Some q.times.(0)
 let size q = q.size
 let is_empty q = q.size = 0
-let clear q = q.size <- 0
+let capacity q = Array.length q.times
+
+let clear q =
+  for i = 0 to q.size - 1 do
+    free_slot q q.slots.(i)
+  done;
+  q.size <- 0

@@ -1,20 +1,72 @@
-(** A stable priority queue of timestamped events.
+(** A stable priority queue of timestamped events, allocation-free in
+    steady state.
 
-    Implemented as a binary min-heap keyed on [(time, sequence)].  The
-    sequence number makes ordering of same-time events FIFO with respect to
-    insertion, which is what makes simulation runs deterministic. *)
+    The store is a binary min-heap keyed on [(time, sequence)]; the
+    sequence number makes ordering of same-time events FIFO with respect
+    to insertion, which is what makes simulation runs deterministic.
 
-type 'a t
+    The heap is laid out as a structure of arrays over unboxed ints
+    ([Sim_time.t] is an int of nanoseconds): parallel [times]/[seqs]
+    arrays drive the sift comparisons without chasing pointers, and a
+    third parallel array holds indices into a slot arena carrying each
+    event's payload — a pre-registered callback id, two immediate int
+    arguments and one reusable [Obj.t] slot (see {!Engine}).  Slots are
+    recycled through a freelist; handles are generation-tagged ints so a
+    stale handle can never cancel a recycled slot's new occupant.
 
-val create : ?capacity:int -> unit -> 'a t
+    [add], [drop], [cancel] and the accessors allocate nothing once the
+    backing arrays have grown to the working-set size (or were
+    preallocated via [create ~capacity]). *)
 
-val add : 'a t -> time:Sim_time.t -> 'a -> unit
+type t
 
-val pop : 'a t -> (Sim_time.t * 'a) option
-(** Remove and return the earliest event (ties broken by insertion order). *)
+type handle = int
+(** Generation-tagged slot reference.  Obtained from {!add}; [none] is a
+    valid argument everywhere and never matches a live event. *)
 
-val peek_time : 'a t -> Sim_time.t option
+val none : handle
 
-val size : 'a t -> int
-val is_empty : 'a t -> bool
-val clear : 'a t -> unit
+val create : ?capacity:int -> unit -> t
+(** [create ~capacity ()] preallocates the heap and the slot arena for
+    [capacity] simultaneous events; both grow by doubling beyond that. *)
+
+val add :
+  t -> time:Sim_time.t -> cb:int -> a:int -> b:int -> obj:Obj.t -> handle
+(** Insert an event.  The returned handle stays valid until the event is
+    dropped from the queue (fired or popped-while-cancelled); after that
+    it matches nothing. *)
+
+val cancel : t -> handle -> unit
+(** Mark the event dead; it stays in the heap and is skipped lazily at
+    pop time.  No-op for stale or [none] handles. *)
+
+val is_pending : t -> handle -> bool
+(** [true] iff the handle's event is still queued and not cancelled. *)
+
+(** {2 Top-of-heap accessors}
+
+    All [peek_time_unsafe]/[top_*] functions and [drop] require
+    [not (is_empty q)]; they are the engine's inner loop and perform no
+    emptiness check of their own. *)
+
+val peek_time_unsafe : t -> Sim_time.t
+val top_cancelled : t -> bool
+val top_cb : t -> int
+val top_a : t -> int
+val top_b : t -> int
+val top_obj : t -> Obj.t
+
+val drop : t -> unit
+(** Remove the minimum event and recycle its slot (invalidating its
+    handle). *)
+
+val peek_time : t -> Sim_time.t option
+(** Checked variant for tests and cold paths. *)
+
+val size : t -> int
+val is_empty : t -> bool
+val capacity : t -> int
+(** Current heap capacity in events (tests the [create ~capacity] hint). *)
+
+val clear : t -> unit
+(** Drop every queued event, recycling all slots. *)

@@ -37,18 +37,25 @@ let install ~engine ~rng ~(spec : Fuzz_spec.t) ~iter_ports =
       Port.set_deliver port (fun pkt ->
           let data = Packet.is_data pkt in
           let p = Rng.int rng 1_000_000 in
-          if p < drop then
-            if data then c.drops_data <- c.drops_data + 1
-            else c.drops_ctrl <- c.drops_ctrl + 1
-          else if p < drop + corrupt then
-            if data then c.corrupts_data <- c.corrupts_data + 1
-            else c.corrupts_ctrl <- c.corrupts_ctrl + 1
+          if p < drop then begin
+            (if data then c.drops_data <- c.drops_data + 1
+             else c.drops_ctrl <- c.drops_ctrl + 1);
+            Packet_pool.release pkt
+          end
+          else if p < drop + corrupt then begin
+            (if data then c.corrupts_data <- c.corrupts_data + 1
+             else c.corrupts_ctrl <- c.corrupts_ctrl + 1);
+            Packet_pool.release pkt
+          end
           else begin
             (if dup > 0 && Rng.int rng 1_000_000 < dup then begin
                if data then c.dups_data <- c.dups_data + 1
                else c.dups_ctrl <- c.dups_ctrl + 1;
                let d = 1 + Rng.int rng delay_max in
-               ignore (Engine.schedule engine ~delay:d (fun () -> base pkt))
+               (* Deliver an owned copy (same uid): both arrivals are
+                  independently released under pooling. *)
+               let copy = Packet_pool.clone pkt in
+               ignore (Engine.schedule engine ~delay:d (fun () -> base copy))
              end);
             if delay > 0 && Rng.int rng 1_000_000 < delay then begin
               c.delays <- c.delays + 1;

@@ -182,6 +182,7 @@ let run_scheme (spec : Fuzz_spec.t) ~scheme : outcome =
   (* Global state hygiene: both make a (spec, scheme) run a pure
      function, so the determinism oracle can demand bit-equality. *)
   Packet.reset_uid_counter ();
+  Packet_pool.reset ();
   Telemetry.disable ();
   let net = build spec ~scheme in
   let eng = engine net in

@@ -3,8 +3,8 @@ type t = {
   bandwidth : Rate.t;
   delay : Sim_time.t;
   label : string;
-  ctrl_queue : Packet.t Queue.t;  (* ACK/NACK/CNP/pause: strict priority *)
-  data_queue : Packet.t Queue.t;
+  ctrl_queue : Packet.t Fifo.t;  (* ACK/NACK/CNP/pause: strict priority *)
+  data_queue : Packet.t Fifo.t;
   mutable data_bytes : int;
   mutable ctrl_bytes : int;
   mutable busy : bool;
@@ -19,34 +19,26 @@ type t = {
   mutable dropped_data : int;
   mutable inject_drops : int;
   mutable jitter : (Rng.t * Sim_time.t) option;
+  (* Closure-free events: one registered tx-completion/propagation
+     callback pair per port; the packet rides the event's obj slot. *)
+  mutable cb_tx_done : Engine.callback;
+  mutable cb_propagate : Engine.callback;
+  (* Drop-counter handle, resolved once per telemetry context instead of
+     per drop.  [drop_registry] detects context swaps (each campaign job
+     installs a fresh registry). *)
+  drop_labels : Metrics.labels;
+  mutable drop_registry : Metrics.t option;
+  mutable drop_counter : Metrics.counter option;
 }
 
 let no_deliver (_ : Packet.t) =
   failwith "Port: deliver callback not set (missing set_deliver)"
 
-let create ~engine ~bandwidth ~delay ~label =
-  {
-    engine;
-    bandwidth;
-    delay;
-    label;
-    ctrl_queue = Queue.create ();
-    data_queue = Queue.create ();
-    data_bytes = 0;
-    ctrl_bytes = 0;
-    busy = false;
-    paused = false;
-    up = true;
-    deliver = no_deliver;
-    on_dequeue = ignore;
-    on_discard = ignore;
-    tx_packets = 0;
-    tx_bytes = 0;
-    dropped = 0;
-    dropped_data = 0;
-    inject_drops = 0;
-    jitter = None;
-  }
+let resolve_drop_counter t m =
+  let c = Metrics.counter m ~labels:t.drop_labels "port_dropped_packets" in
+  t.drop_registry <- Some m;
+  t.drop_counter <- Some c;
+  c
 
 (* Telemetry: one Packet_drop event per discarded packet, tagged with the
    port's label so drops are attributable to a link direction. *)
@@ -54,9 +46,13 @@ let record_drop t (pkt : Packet.t) reason =
   t.dropped <- t.dropped + 1;
   if Packet.is_data pkt then t.dropped_data <- t.dropped_data + 1;
   if Telemetry.enabled () then begin
-    Telemetry.incr_counter
-      ~labels:[ ("port", t.label) ]
-      "port_dropped_packets";
+    let m = Telemetry.metrics_exn () in
+    let counter =
+      match (t.drop_counter, t.drop_registry) with
+      | Some c, Some r when r == m -> c
+      | _ -> resolve_drop_counter t m
+    in
+    Metrics.incr counter;
     Telemetry.record ~time:(Engine.now t.engine)
       (Event.Packet_drop
          {
@@ -75,69 +71,116 @@ let set_jitter t ~rng ~max = t.jitter <- Some (rng, max)
 let set_on_dequeue t f = t.on_dequeue <- f
 let set_on_discard t f = t.on_discard <- f
 
-let pop_next t =
-  match Queue.take_opt t.ctrl_queue with
-  | Some pkt ->
-      t.ctrl_bytes <- t.ctrl_bytes - pkt.Packet.size;
-      Some pkt
-  | None -> (
-      match Queue.take_opt t.data_queue with
-      | Some pkt ->
-          t.data_bytes <- t.data_bytes - pkt.Packet.size;
-          Some pkt
-      | None -> None)
-
 let rec start_tx t =
   if (not t.busy) && (not t.paused) && t.up then
-    match pop_next t with
-    | None -> ()
-    | Some pkt ->
-        t.on_dequeue pkt;
-        t.busy <- true;
-        let tx = Rate.tx_time t.bandwidth ~bytes_:pkt.Packet.size in
-        ignore
-          (Engine.schedule t.engine ~delay:tx (fun () ->
-               t.busy <- false;
-               t.tx_packets <- t.tx_packets + 1;
-               t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
-               if t.up then begin
-                 let extra =
-                   match t.jitter with
-                   | Some (rng, max) when max > 0 -> Rng.int rng (max + 1)
-                   | Some _ | None -> 0
-                 in
-                 ignore
-                   (Engine.schedule t.engine ~delay:(t.delay + extra)
-                      (fun () ->
-                        (* The link may have failed while the packet was
-                           propagating: such packets are lost on the wire
-                           and must be accounted as drops, or packet
-                           conservation breaks. *)
-                        if t.up then t.deliver pkt
-                        else record_drop t pkt Event.Link_down))
-               end
-               else record_drop t pkt Event.Link_down;
-               start_tx t))
+    if not (Fifo.is_empty t.ctrl_queue) then begin
+      let pkt = Fifo.pop t.ctrl_queue in
+      t.ctrl_bytes <- t.ctrl_bytes - pkt.Packet.size;
+      transmit t pkt
+    end
+    else if not (Fifo.is_empty t.data_queue) then begin
+      let pkt = Fifo.pop t.data_queue in
+      t.data_bytes <- t.data_bytes - pkt.Packet.size;
+      transmit t pkt
+    end
+
+and transmit t pkt =
+  t.on_dequeue pkt;
+  t.busy <- true;
+  let tx = Rate.tx_time t.bandwidth ~bytes_:pkt.Packet.size in
+  ignore
+    (Engine.schedule_call t.engine ~delay:tx t.cb_tx_done ~a:0 ~b:0
+       ~obj:(Obj.repr pkt))
+
+and tx_done t (pkt : Packet.t) =
+  t.busy <- false;
+  t.tx_packets <- t.tx_packets + 1;
+  t.tx_bytes <- t.tx_bytes + pkt.Packet.size;
+  if t.up then begin
+    let extra =
+      match t.jitter with
+      | Some (rng, max) when max > 0 -> Rng.int rng (max + 1)
+      | Some _ | None -> 0
+    in
+    ignore
+      (Engine.schedule_call t.engine ~delay:(t.delay + extra) t.cb_propagate
+         ~a:0 ~b:0 ~obj:(Obj.repr pkt))
+  end
+  else begin
+    record_drop t pkt Event.Link_down;
+    Packet_pool.release pkt
+  end;
+  start_tx t
+
+and propagate t (pkt : Packet.t) =
+  (* The link may have failed while the packet was propagating: such
+     packets are lost on the wire and must be accounted as drops, or
+     packet conservation breaks. *)
+  if t.up then t.deliver pkt
+  else begin
+    record_drop t pkt Event.Link_down;
+    Packet_pool.release pkt
+  end
+
+let create ~engine ~bandwidth ~delay ~label =
+  let t =
+    {
+      engine;
+      bandwidth;
+      delay;
+      label;
+      ctrl_queue = Fifo.create ~capacity:16 ();
+      data_queue = Fifo.create ~capacity:64 ();
+      data_bytes = 0;
+      ctrl_bytes = 0;
+      busy = false;
+      paused = false;
+      up = true;
+      deliver = no_deliver;
+      on_dequeue = ignore;
+      on_discard = ignore;
+      tx_packets = 0;
+      tx_bytes = 0;
+      dropped = 0;
+      dropped_data = 0;
+      inject_drops = 0;
+      jitter = None;
+      cb_tx_done = Engine.null_callback;
+      cb_propagate = Engine.null_callback;
+      drop_labels = [ ("port", label) ];
+      drop_registry = None;
+      drop_counter = None;
+    }
+  in
+  t.cb_tx_done <-
+    Engine.register_callback engine (fun _ _ obj -> tx_done t (Obj.obj obj));
+  t.cb_propagate <-
+    Engine.register_callback engine (fun _ _ obj -> propagate t (Obj.obj obj));
+  if Telemetry.enabled () then
+    ignore (resolve_drop_counter t (Telemetry.metrics_exn ()));
+  t
 
 let inject_drops t n = t.inject_drops <- t.inject_drops + n
 
 let enqueue t pkt =
   if not t.up then begin
     record_drop t pkt Event.Link_down;
-    t.on_discard pkt
+    t.on_discard pkt;
+    Packet_pool.release pkt
   end
   else if Packet.is_data pkt && t.inject_drops > 0 then begin
     t.inject_drops <- t.inject_drops - 1;
     record_drop t pkt Event.Injected;
-    t.on_discard pkt
+    t.on_discard pkt;
+    Packet_pool.release pkt
   end
   else begin
     if Packet.is_data pkt then begin
-      Queue.add pkt t.data_queue;
+      Fifo.push t.data_queue pkt;
       t.data_bytes <- t.data_bytes + pkt.Packet.size
     end
     else begin
-      Queue.add pkt t.ctrl_queue;
+      Fifo.push t.ctrl_queue pkt;
       t.ctrl_bytes <- t.ctrl_bytes + pkt.Packet.size
     end;
     start_tx t
@@ -145,7 +188,7 @@ let enqueue t pkt =
 
 let queue_bytes t = t.data_bytes
 let ctrl_queue_bytes t = t.ctrl_bytes
-let queue_packets t = Queue.length t.data_queue + Queue.length t.ctrl_queue
+let queue_packets t = Fifo.length t.data_queue + Fifo.length t.ctrl_queue
 let busy t = t.busy
 
 let set_paused t p =
@@ -155,12 +198,13 @@ let set_paused t p =
 let paused t = t.paused
 
 let flush_discard t q =
-  Queue.iter
+  Fifo.iter
     (fun pkt ->
       record_drop t pkt Event.Link_down;
-      t.on_discard pkt)
+      t.on_discard pkt;
+      Packet_pool.release pkt)
     q;
-  Queue.clear q
+  Fifo.clear q
 
 let set_up t up =
   t.up <- up;

@@ -1,21 +1,26 @@
 type kind =
-  | Data of { psn : Psn.t; payload : int; last_of_msg : bool }
-  | Ack of { psn : Psn.t }
-  | Nack of { epsn : Psn.t }
+  | Data of {
+      mutable psn : Psn.t;
+      mutable payload : int;
+      mutable last_of_msg : bool;
+    }
+  | Ack of { mutable psn : Psn.t }
+  | Nack of { mutable epsn : Psn.t }
   | Cnp
   | Pause of { stop : bool }
 
 type t = {
-  uid : int;
-  conn : Flow_id.t;
-  src_node : int;
-  dst_node : int;
-  kind : kind;
-  size : int;
+  mutable uid : int;
+  mutable conn : Flow_id.t;
+  mutable src_node : int;
+  mutable dst_node : int;
+  mutable kind : kind;
+  mutable size : int;
   mutable udp_sport : int;
   mutable ecn : Headers.ecn;
   mutable retransmission : bool;
-  birth : Sim_time.t;
+  mutable birth : Sim_time.t;
+  mutable pooled : bool;
 }
 
 let uid_counter = ref 0
@@ -39,6 +44,7 @@ let data ~conn ~sport ~psn ~payload ~last_of_msg ?(retransmission = false)
     ecn = Headers.Ect;
     retransmission;
     birth;
+    pooled = false;
   }
 
 let control ~conn ~sport ~kind ~size ~birth =
@@ -53,6 +59,7 @@ let control ~conn ~sport ~kind ~size ~birth =
     ecn = Headers.Not_ect;
     retransmission = false;
     birth;
+    pooled = false;
   }
 
 let ack ~conn ~sport ~psn ~birth =

@@ -7,31 +7,43 @@
 
     [udp_sport] is the flow's entropy field.  ECMP hashes it; Themis-S
     rewrites it per packet to implement PSN-based spraying.  [ecn] is the IP
-    ECN codepoint, set to [Ce] by switches when marking. *)
+    ECN codepoint, set to [Ce] by switches when marking.
+
+    Every field (including the inline-record payloads of [kind]) is
+    mutable so {!Packet_pool} can recycle records on the simulator hot
+    path.  The constructors here always allocate fresh records; code
+    outside the data plane (tests, examples) should keep using them and
+    never needs to think about pooling.  [pooled] is the pool's
+    double-release guard — treat it as private to {!Packet_pool}. *)
 
 type kind =
-  | Data of { psn : Psn.t; payload : int; last_of_msg : bool }
-      (** [payload] bytes of user data carried under [psn]. *)
-  | Ack of { psn : Psn.t }
+  | Data of {
+      mutable psn : Psn.t;
+      mutable payload : int;
+      mutable last_of_msg : bool;
+    }  (** [payload] bytes of user data carried under [psn]. *)
+  | Ack of { mutable psn : Psn.t }
       (** Cumulative: every PSN strictly below [psn] has been received.
           [psn] is the receiver's current ePSN. *)
-  | Nack of { epsn : Psn.t }
+  | Nack of { mutable epsn : Psn.t }
       (** Out-of-sequence NACK carrying only the expected PSN (the
           commodity-RNIC behaviour of Section 2.2). *)
   | Cnp  (** DCQCN congestion notification. *)
   | Pause of { stop : bool }  (** PFC pause/resume (hop-local). *)
 
 type t = {
-  uid : int;  (** Unique per simulated packet; retransmissions get fresh ids. *)
-  conn : Flow_id.t;
-  src_node : int;
-  dst_node : int;
-  kind : kind;
-  size : int;  (** Total bytes on the wire. *)
+  mutable uid : int;
+      (** Unique per simulated packet; retransmissions get fresh ids. *)
+  mutable conn : Flow_id.t;
+  mutable src_node : int;
+  mutable dst_node : int;
+  mutable kind : kind;
+  mutable size : int;  (** Total bytes on the wire. *)
   mutable udp_sport : int;
   mutable ecn : Headers.ecn;
   mutable retransmission : bool;
-  birth : Sim_time.t;
+  mutable birth : Sim_time.t;
+  mutable pooled : bool;  (** Private to {!Packet_pool}. *)
 }
 
 val data :
@@ -58,6 +70,10 @@ val payload_bytes : t -> int
 (** 0 for control packets. *)
 
 val pp : Format.formatter -> t -> unit
+
+val fresh_uid : unit -> int
+(** Next packet uid; used by {!Packet_pool} so recycled records are
+    indistinguishable from fresh ones. *)
 
 val reset_uid_counter : unit -> unit
 (** For test isolation. *)

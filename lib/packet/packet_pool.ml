@@ -1,0 +1,138 @@
+open Packet
+
+(* Growable stacks; a popped element stays referenced by the backing
+   array until overwritten, which is harmless retention, not a leak. *)
+type stack = { mutable buf : Packet.t array; mutable len : int }
+
+let free_data = { buf = [||]; len = 0 }
+let free_ctrl = { buf = [||]; len = 0 }
+let reused = ref 0
+let fresh = ref 0
+
+let push st p =
+  if st.len >= Array.length st.buf then begin
+    let ncap = Stdlib.max 32 (2 * st.len) in
+    let nbuf = Array.make ncap p in
+    Array.blit st.buf 0 nbuf 0 st.len;
+    st.buf <- nbuf
+  end;
+  st.buf.(st.len) <- p;
+  st.len <- st.len + 1
+
+(* Caller has checked [st.len > 0]. *)
+let pop st =
+  st.len <- st.len - 1;
+  st.buf.(st.len)
+
+let release p =
+  if not p.pooled then begin
+    p.pooled <- true;
+    match p.kind with
+    | Data _ -> push free_data p
+    | Ack _ | Nack _ | Cnp | Pause _ -> push free_ctrl p
+  end
+
+let reset () =
+  free_data.buf <- [||];
+  free_data.len <- 0;
+  free_ctrl.buf <- [||];
+  free_ctrl.len <- 0;
+  reused := 0;
+  fresh := 0
+
+let stats () = (!reused, !fresh)
+
+let data ~conn ~sport ~psn ~payload ~last_of_msg ?(retransmission = false)
+    ~birth () =
+  if free_data.len > 0 then begin
+    incr reused;
+    let p = pop free_data in
+    p.pooled <- false;
+    p.uid <- Packet.fresh_uid ();
+    p.conn <- conn;
+    p.src_node <- conn.Flow_id.src;
+    p.dst_node <- conn.Flow_id.dst;
+    (match p.kind with
+    | Data d ->
+        d.psn <- psn;
+        d.payload <- payload;
+        d.last_of_msg <- last_of_msg
+    | Ack _ | Nack _ | Cnp | Pause _ -> p.kind <- Data { psn; payload; last_of_msg });
+    p.size <- payload + Headers.data_overhead;
+    p.udp_sport <- sport;
+    p.ecn <- Headers.Ect;
+    p.retransmission <- retransmission;
+    p.birth <- birth;
+    p
+  end
+  else begin
+    incr fresh;
+    Packet.data ~conn ~sport ~psn ~payload ~last_of_msg ~retransmission ~birth
+      ()
+  end
+
+(* Control packets travel dst -> src of [conn]; the caller has already
+   set [p.kind]. *)
+let reuse_control p ~conn ~sport ~size ~birth =
+  p.pooled <- false;
+  p.uid <- Packet.fresh_uid ();
+  p.conn <- conn;
+  p.src_node <- conn.Flow_id.dst;
+  p.dst_node <- conn.Flow_id.src;
+  p.size <- size;
+  p.udp_sport <- sport;
+  p.ecn <- Headers.Not_ect;
+  p.retransmission <- false;
+  p.birth <- birth;
+  p
+
+let ack ~conn ~sport ~psn ~birth =
+  if free_ctrl.len > 0 then begin
+    incr reused;
+    let p = pop free_ctrl in
+    (match p.kind with
+    | Ack a -> a.psn <- psn
+    | Data _ | Nack _ | Cnp | Pause _ -> p.kind <- Ack { psn });
+    reuse_control p ~conn ~sport ~size:Headers.ack_bytes ~birth
+  end
+  else begin
+    incr fresh;
+    Packet.ack ~conn ~sport ~psn ~birth
+  end
+
+let nack ~conn ~sport ~epsn ~birth =
+  if free_ctrl.len > 0 then begin
+    incr reused;
+    let p = pop free_ctrl in
+    (match p.kind with
+    | Nack n -> n.epsn <- epsn
+    | Data _ | Ack _ | Cnp | Pause _ -> p.kind <- Nack { epsn });
+    reuse_control p ~conn ~sport ~size:Headers.ack_bytes ~birth
+  end
+  else begin
+    incr fresh;
+    Packet.nack ~conn ~sport ~epsn ~birth
+  end
+
+let cnp ~conn ~sport ~birth =
+  if free_ctrl.len > 0 then begin
+    incr reused;
+    let p = pop free_ctrl in
+    p.kind <- Cnp;
+    reuse_control p ~conn ~sport ~size:Headers.cnp_bytes ~birth
+  end
+  else begin
+    incr fresh;
+    Packet.cnp ~conn ~sport ~birth
+  end
+
+let clone p =
+  let kind =
+    match p.kind with
+    | Data { psn; payload; last_of_msg } -> Data { psn; payload; last_of_msg }
+    | Ack { psn } -> Ack { psn }
+    | Nack { epsn } -> Nack { epsn }
+    | Cnp -> Cnp
+    | Pause { stop } -> Pause { stop }
+  in
+  { p with kind; pooled = false }

@@ -46,35 +46,18 @@ type t = {
   mutable last_nack_decrease : Sim_time.t;
   mutable stage : int;
   mutable bytes_acc : int;
-  mutable increase_timer : Engine.handle option;
-  mutable alpha_handle : Engine.handle option;
+  mutable increase_timer : Engine.handle;
+  mutable alpha_handle : Engine.handle;
   mutable decreases : int;
+  (* Closure-free timers: registered once, rescheduled forever. *)
+  mutable cb_increase : Engine.callback;
+  mutable cb_alpha : Engine.callback;
 }
-
-let create ~engine ?conn ~config ~line_rate () =
-  {
-    engine;
-    conn;
-    cfg = config;
-    line_rate;
-    rc = line_rate;
-    rt = line_rate;
-    alpha = 1.;
-    last_decrease = Sim_time.ns (-1_000_000_000);
-    last_nack_decrease = Sim_time.ns (-1_000_000_000);
-    stage = 0;
-    bytes_acc = 0;
-    increase_timer = None;
-    alpha_handle = None;
-    decreases = 0;
-  }
 
 let rate t = t.rc
 let target t = t.rt
 let alpha t = t.alpha
 let decreases t = t.decreases
-
-let cancel_opt = function Some h -> Engine.cancel h | None -> ()
 
 let at_line_rate t = Rate.compare t.rc t.line_rate >= 0
 
@@ -82,8 +65,8 @@ let at_line_rate t = Rate.compare t.rc t.line_rate >= 0
    decaying (it terminates itself once negligible), so a long quiet
    period leaves the next congestion cut appropriately gentle. *)
 let stop_increase_timer t =
-  cancel_opt t.increase_timer;
-  t.increase_timer <- None
+  Engine.cancel t.engine t.increase_timer;
+  t.increase_timer <- Engine.none
 
 (* One rate-increase event (from the TI timer or the byte counter). *)
 let rec increase_event t =
@@ -108,22 +91,47 @@ let rec increase_event t =
   else reschedule_increase t
 
 and reschedule_increase t =
-  cancel_opt t.increase_timer;
+  Engine.cancel t.engine t.increase_timer;
   t.increase_timer <-
-    Some
-      (Engine.schedule t.engine ~delay:t.cfg.rate_increase_timer (fun () ->
-           increase_event t))
+    Engine.schedule_call t.engine ~delay:t.cfg.rate_increase_timer
+      t.cb_increase ~a:0 ~b:0 ~obj:(Obj.repr ())
 
-let rec alpha_decay t =
+and alpha_decay t =
   t.alpha <- (1. -. t.cfg.g) *. t.alpha;
-  if t.alpha > 1e-4 then reschedule_alpha t else t.alpha_handle <- None
+  if t.alpha > 1e-4 then reschedule_alpha t else t.alpha_handle <- Engine.none
 
 and reschedule_alpha t =
-  cancel_opt t.alpha_handle;
+  Engine.cancel t.engine t.alpha_handle;
   t.alpha_handle <-
-    Some
-      (Engine.schedule t.engine ~delay:t.cfg.alpha_timer (fun () ->
-           alpha_decay t))
+    Engine.schedule_call t.engine ~delay:t.cfg.alpha_timer t.cb_alpha ~a:0
+      ~b:0 ~obj:(Obj.repr ())
+
+let create ~engine ?conn ~config ~line_rate () =
+  let t =
+  {
+    engine;
+    conn;
+    cfg = config;
+    line_rate;
+    rc = line_rate;
+    rt = line_rate;
+    alpha = 1.;
+    last_decrease = Sim_time.ns (-1_000_000_000);
+    last_nack_decrease = Sim_time.ns (-1_000_000_000);
+    stage = 0;
+    bytes_acc = 0;
+    increase_timer = Engine.none;
+    alpha_handle = Engine.none;
+    decreases = 0;
+    cb_increase = Engine.null_callback;
+    cb_alpha = Engine.null_callback;
+  }
+  in
+  t.cb_increase <-
+    Engine.register_callback engine (fun _ _ _ -> increase_event t);
+  t.cb_alpha <- Engine.register_callback engine (fun _ _ _ -> alpha_decay t);
+  t
+
 
 let tm_decrease t cause =
   if Telemetry.enabled () then begin

@@ -97,13 +97,13 @@ let register_receiver t ~conn ~sport =
                 Receiver.send_ack =
                   (fun ~epsn ->
                     transmit_control t
-                      (Packet.ack ~conn ~sport ~psn:(Psn.of_int epsn)
+                      (Packet_pool.ack ~conn ~sport ~psn:(Psn.of_int epsn)
                          ~birth:(Engine.now t.engine)));
                 Receiver.send_nack =
                   (fun ~epsn ->
                     t.nacks_sent <- t.nacks_sent + 1;
                     transmit_control t
-                      (Packet.nack ~conn ~sport ~epsn:(Psn.of_int epsn)
+                      (Packet_pool.nack ~conn ~sport ~epsn:(Psn.of_int epsn)
                          ~birth:(Engine.now t.engine)));
                 Receiver.deliver = (fun ~bytes:_ -> ());
               };
@@ -124,29 +124,36 @@ let maybe_cnp t (ctx : rctx) =
     t.cnps_sent <- t.cnps_sent + 1;
     if Telemetry.enabled () then Telemetry.incr_counter "cnps_sent";
     transmit_control t
-      (Packet.cnp ~conn:ctx.r_conn ~sport:ctx.r_sport ~birth:now)
+      (Packet_pool.cnp ~conn:ctx.r_conn ~sport:ctx.r_sport ~birth:now)
   end
 
+(* Hashtbl.find over find_opt: the miss path is exceptional (wiring bug
+   or a late packet for a torn-down QP) and the hit path must not
+   allocate an option per received packet. *)
 let on_data_packet t (pkt : Packet.t) psn payload last_of_msg =
-  match Flow_id.Table.find_opt t.receivers pkt.Packet.conn with
-  | None ->
+  match Flow_id.Table.find t.receivers pkt.Packet.conn with
+  | exception Not_found ->
       (* Unknown QP: a real NIC would answer with an error; in the
          simulator this indicates a wiring bug. *)
       failwith
         (Format.asprintf "Rnic %d: data for unknown QP %a" t.node Flow_id.pp
            pkt.Packet.conn)
-  | Some ctx ->
+  | ctx ->
       if pkt.Packet.ecn = Headers.Ce then maybe_cnp t ctx;
       let seq = Psn.unwrap ~near:(Receiver.epsn ctx.recv) psn in
       Receiver.on_data ctx.recv ~seq ~payload ~last_of_msg
 
 let on_sender_packet t (pkt : Packet.t) f =
-  match Flow_id.Table.find_opt t.senders pkt.Packet.conn with
-  | None -> ()
-  | Some snd -> f snd
+  match Flow_id.Table.find t.senders pkt.Packet.conn with
+  | exception Not_found -> ()
+  | snd -> f snd
 
+(* The RNIC is the end of a delivered packet's life: every field needed
+   is read during dispatch, and no component downstream retains the
+   record, so this is the pool's receiver-side recycle point
+   (DESIGN.md §10). *)
 let receive t (pkt : Packet.t) =
-  match pkt.Packet.kind with
+  (match pkt.Packet.kind with
   | Packet.Data { psn; payload; last_of_msg } ->
       t.data_rx <- t.data_rx + 1;
       on_data_packet t pkt psn payload last_of_msg
@@ -154,7 +161,8 @@ let receive t (pkt : Packet.t) =
   | Packet.Nack { epsn } ->
       on_sender_packet t pkt (fun s -> Sender.on_nack s epsn)
   | Packet.Cnp -> on_sender_packet t pkt Sender.on_cnp
-  | Packet.Pause _ -> ()
+  | Packet.Pause _ -> ());
+  Packet_pool.release pkt
 
 (* --- Connection setup ------------------------------------------------ *)
 

@@ -31,7 +31,10 @@ type t = {
   retx : int Queue.t;
   retx_pending : (int, unit) Hashtbl.t;
   mutable pacing : bool;
-  mutable rto_handle : Engine.handle option;
+  mutable rto_handle : Engine.handle;
+  (* Closure-free pacing/RTO events (registered once per sender). *)
+  mutable cb_pace : Engine.callback;
+  mutable cb_rto : Engine.callback;
   mutable data_sent : int;
   mutable retx_sent : int;
   mutable nacks_rx : int;
@@ -39,33 +42,6 @@ type t = {
   mutable timeouts : int;
   mutable bytes_completed : int;
 }
-
-let create ~engine ~conn ~sport ~config ~line_rate ~transmit =
-  if config.mtu <= 0 then invalid_arg "Sender.create: mtu";
-  if config.window <= 0 then invalid_arg "Sender.create: window";
-  {
-    engine;
-    conn;
-    sport;
-    cfg = config;
-    cc = Dcqcn.create ~engine ~conn ~config:config.cc ~line_rate ();
-    transmit;
-    msgs = Queue.create ();
-    next_seq = 0;
-    max_sent = -1;
-    una = 0;
-    end_seq = 0;
-    retx = Queue.create ();
-    retx_pending = Hashtbl.create 16;
-    pacing = false;
-    rto_handle = None;
-    data_sent = 0;
-    retx_sent = 0;
-    nacks_rx = 0;
-    cnps_rx = 0;
-    timeouts = 0;
-    bytes_completed = 0;
-  }
 
 let conn t = t.conn
 let sport t = t.sport
@@ -106,15 +82,17 @@ let payload_of t seq =
       (payload, last)
 
 let cancel_rto t =
-  (match t.rto_handle with Some h -> Engine.cancel h | None -> ());
-  t.rto_handle <- None
+  Engine.cancel t.engine t.rto_handle;
+  t.rto_handle <- Engine.none
 
 let rec arm_rto t =
-  cancel_rto t;
-  t.rto_handle <- Some (Engine.schedule t.engine ~delay:t.cfg.rto (fun () -> on_rto t))
+  Engine.cancel t.engine t.rto_handle;
+  t.rto_handle <-
+    Engine.schedule_call t.engine ~delay:t.cfg.rto t.cb_rto ~a:0 ~b:0
+      ~obj:(Obj.repr ())
 
 and on_rto t =
-  t.rto_handle <- None;
+  t.rto_handle <- Engine.none;
   if t.una < t.next_seq then begin
     t.timeouts <- t.timeouts + 1;
     if Telemetry.enabled () then begin
@@ -169,10 +147,13 @@ and try_send t =
         if seq > t.max_sent then t.max_sent <- seq;
         let payload, last = payload_of t seq in
         let pkt =
-          Packet.data ~conn:t.conn ~sport:t.sport ~psn:(Psn.of_int seq)
+          Packet_pool.data ~conn:t.conn ~sport:t.sport ~psn:(Psn.of_int seq)
             ~payload ~last_of_msg:last ~retransmission:is_retx
             ~birth:(Engine.now t.engine) ()
         in
+        (* [transmit] may synchronously drop (and recycle) the packet;
+           everything we need from it is read before the handoff. *)
+        let size = pkt.Packet.size in
         t.data_sent <- t.data_sent + 1;
         if is_retx then t.retx_sent <- t.retx_sent + 1;
         if Telemetry.enabled () then begin
@@ -183,18 +164,54 @@ and try_send t =
               (Event.Retransmission { conn = t.conn; psn = seq })
           end
         end;
-        Dcqcn.on_bytes_sent t.cc pkt.Packet.size;
-        if t.rto_handle = None then arm_rto t;
+        Dcqcn.on_bytes_sent t.cc size;
+        if not (Engine.is_pending t.engine t.rto_handle) then arm_rto t;
         t.transmit pkt;
         (* Hardware rate pacing: the next packet may leave one
            serialization time (at the DCQCN current rate) later. *)
         t.pacing <- true;
-        let gap = Rate.tx_time (Dcqcn.rate t.cc) ~bytes_:pkt.Packet.size in
+        let gap = Rate.tx_time (Dcqcn.rate t.cc) ~bytes_:size in
         ignore
-          (Engine.schedule t.engine ~delay:gap (fun () ->
-               t.pacing <- false;
-               try_send t))
+          (Engine.schedule_call t.engine ~delay:gap t.cb_pace ~a:0 ~b:0
+             ~obj:(Obj.repr ()))
   end
+
+let create ~engine ~conn ~sport ~config ~line_rate ~transmit =
+  if config.mtu <= 0 then invalid_arg "Sender.create: mtu";
+  if config.window <= 0 then invalid_arg "Sender.create: window";
+  let t =
+  {
+    engine;
+    conn;
+    sport;
+    cfg = config;
+    cc = Dcqcn.create ~engine ~conn ~config:config.cc ~line_rate ();
+    transmit;
+    msgs = Queue.create ();
+    next_seq = 0;
+    max_sent = -1;
+    una = 0;
+    end_seq = 0;
+    retx = Queue.create ();
+    retx_pending = Hashtbl.create 16;
+    pacing = false;
+    rto_handle = Engine.none;
+    cb_pace = Engine.null_callback;
+    cb_rto = Engine.null_callback;
+    data_sent = 0;
+    retx_sent = 0;
+    nacks_rx = 0;
+    cnps_rx = 0;
+    timeouts = 0;
+    bytes_completed = 0;
+  }
+  in
+  t.cb_pace <-
+    Engine.register_callback engine (fun _ _ _ ->
+        t.pacing <- false;
+        try_send t);
+  t.cb_rto <- Engine.register_callback engine (fun _ _ _ -> on_rto t);
+  t
 
 let post t ~bytes ~on_complete =
   if bytes <= 0 then invalid_arg "Sender.post: bytes must be positive";
@@ -267,7 +284,8 @@ let on_nack t psn =
       end);
   (* The slow start the paper blames: a NACK is treated as congestion. *)
   Dcqcn.on_nack t.cc;
-  if t.rto_handle = None && t.una < t.next_seq then arm_rto t;
+  if (not (Engine.is_pending t.engine t.rto_handle)) && t.una < t.next_seq
+  then arm_rto t;
   try_send t
 
 let on_cnp t =

@@ -133,7 +133,7 @@ let build (params : params) =
             ~compensation:params.compensation
             ~inject_nack:(fun ~conn ~sport ~epsn ->
               Switch.inject sw
-                (Packet.nack ~conn ~sport ~epsn ~birth:(Engine.now engine)))
+                (Packet_pool.nack ~conn ~sport ~epsn ~birth:(Engine.now engine)))
             ()
         in
         t.themis_ss <- themis_s :: t.themis_ss;

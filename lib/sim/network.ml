@@ -166,7 +166,7 @@ let build (params : params) =
               ~clock:(fun () -> Engine.now engine)
               ~inject_nack:(fun ~conn ~sport ~epsn ->
                 let pkt =
-                  Packet.nack ~conn ~sport ~epsn ~birth:(Engine.now engine)
+                  Packet_pool.nack ~conn ~sport ~epsn ~birth:(Engine.now engine)
                 in
                 Switch.inject sw pkt)
               ()

@@ -42,47 +42,40 @@ type t = {
   mutable dropped_data : int;
   mutable ecn_marked : int;
   mutable nacks_blocked : int;
+  (* Closure-free fwd-delay events; the packet rides the obj slot. *)
+  mutable cb_process : Engine.callback;
+  mutable cb_forward : Engine.callback;
+  (* Drop-counter handle resolved once per telemetry context, plus the
+     preformatted drop location, instead of per-drop rebuilds. *)
+  drop_loc : string;
+  drop_labels : Metrics.labels;
+  mutable drop_registry : Metrics.t option;
+  mutable drop_counter : Metrics.counter option;
 }
-
-let create ~engine ~topo ~routing ~node ~config ~rng =
-  {
-    engine;
-    topo;
-    routing;
-    node;
-    cfg = config;
-    rng;
-    pool =
-      Buffer_pool.create ~capacity:config.buffer_capacity
-        ~per_port_cap:config.per_port_cap;
-    ports = Hashtbl.create 8;
-    local_hosts = [];
-    themis_s = None;
-    themis_d = None;
-    upstream = [];
-    pfc_paused = false;
-    rx_packets = 0;
-    forwarded = 0;
-    dropped_buffer = 0;
-    dropped_unreachable = 0;
-    dropped_data = 0;
-    ecn_marked = 0;
-    nacks_blocked = 0;
-  }
 
 let node_id t = t.node
 let config t = t.cfg
 
+let resolve_drop_counter t m =
+  let c = Metrics.counter m ~labels:t.drop_labels "switch_dropped_packets" in
+  t.drop_registry <- Some m;
+  t.drop_counter <- Some c;
+  c
+
 let record_drop t (pkt : Packet.t) reason =
   if Packet.is_data pkt then t.dropped_data <- t.dropped_data + 1;
   if Telemetry.enabled () then begin
-    Telemetry.incr_counter
-      ~labels:[ ("node", string_of_int t.node) ]
-      "switch_dropped_packets";
+    let m = Telemetry.metrics_exn () in
+    let counter =
+      match (t.drop_counter, t.drop_registry) with
+      | Some c, Some r when r == m -> c
+      | _ -> resolve_drop_counter t m
+    in
+    Metrics.incr counter;
     Telemetry.record ~time:(Engine.now t.engine)
       (Event.Packet_drop
          {
-           loc = Printf.sprintf "sw%d" t.node;
+           loc = t.drop_loc;
            conn = pkt.Packet.conn;
            psn =
              (match pkt.Packet.kind with
@@ -187,7 +180,8 @@ let enqueue_on t port (pkt : Packet.t) =
     record_drop t pkt Event.Buffer_full;
     if Trace.enabled () then
       Trace.emitf ~time:(Engine.now t.engine) ~cat:"switch"
-        "node%d buffer-dropped %a" t.node Packet.pp pkt
+        "node%d buffer-dropped %a" t.node Packet.pp pkt;
+    Packet_pool.release pkt
   end
 
 let forward t (pkt : Packet.t) =
@@ -195,7 +189,8 @@ let forward t (pkt : Packet.t) =
   let n = Array.length cands in
   if n = 0 then begin
     t.dropped_unreachable <- t.dropped_unreachable + 1;
-    record_drop t pkt Event.Unreachable
+    record_drop t pkt Event.Unreachable;
+    Packet_pool.release pkt
   end
   else begin
     let idx =
@@ -230,7 +225,8 @@ let forward t (pkt : Packet.t) =
     match Hashtbl.find_opt t.ports link_id with
     | None ->
         t.dropped_unreachable <- t.dropped_unreachable + 1;
-        record_drop t pkt Event.Unreachable
+        record_drop t pkt Event.Unreachable;
+        Packet_pool.release pkt
     | Some (port, _) -> enqueue_on t port pkt
   end
 
@@ -257,14 +253,61 @@ let process t (pkt : Packet.t) =
   in
   if not blocked then forward t pkt
 
+let create ~engine ~topo ~routing ~node ~config ~rng =
+  let t =
+  {
+    engine;
+    topo;
+    routing;
+    node;
+    cfg = config;
+    rng;
+    pool =
+      Buffer_pool.create ~capacity:config.buffer_capacity
+        ~per_port_cap:config.per_port_cap;
+    ports = Hashtbl.create 8;
+    local_hosts = [];
+    themis_s = None;
+    themis_d = None;
+    upstream = [];
+    pfc_paused = false;
+    rx_packets = 0;
+    forwarded = 0;
+    dropped_buffer = 0;
+    dropped_unreachable = 0;
+    dropped_data = 0;
+    ecn_marked = 0;
+    nacks_blocked = 0;
+    cb_process = Engine.null_callback;
+    cb_forward = Engine.null_callback;
+    drop_loc = Printf.sprintf "sw%d" node;
+    drop_labels = [ ("node", string_of_int node) ];
+    drop_registry = None;
+    drop_counter = None;
+  }
+  in
+  t.cb_process <-
+    Engine.register_callback engine (fun _ _ obj -> process t (Obj.obj obj));
+  t.cb_forward <-
+    Engine.register_callback engine (fun _ _ obj -> forward t (Obj.obj obj));
+  (if Telemetry.enabled () then
+     ignore (resolve_drop_counter t (Telemetry.metrics_exn ())));
+  t
+
 let receive t pkt =
   t.rx_packets <- t.rx_packets + 1;
   if t.cfg.fwd_delay = Sim_time.zero then process t pkt
-  else ignore (Engine.schedule t.engine ~delay:t.cfg.fwd_delay (fun () -> process t pkt))
+  else
+    ignore
+      (Engine.schedule_call t.engine ~delay:t.cfg.fwd_delay t.cb_process ~a:0
+         ~b:0 ~obj:(Obj.repr pkt))
 
 let inject t pkt =
   if t.cfg.fwd_delay = Sim_time.zero then forward t pkt
-  else ignore (Engine.schedule t.engine ~delay:t.cfg.fwd_delay (fun () -> forward t pkt))
+  else
+    ignore
+      (Engine.schedule_call t.engine ~delay:t.cfg.fwd_delay t.cb_forward ~a:0
+         ~b:0 ~obj:(Obj.repr pkt))
 
 let rx_packets t = t.rx_packets
 let forwarded_packets t = t.forwarded

@@ -23,11 +23,8 @@ type t = {
   mutable probes : probe list;  (* newest first *)
   mutable ticks : int;
   mutable started : bool;
+  mutable cb_tick : Engine.callback;
 }
-
-let create ~engine ~interval =
-  if interval <= 0 then invalid_arg "Sampler.create: interval must be positive";
-  { engine; interval; probes = []; ticks = 0; started = false }
 
 let interval t = t.interval
 let ticks t = t.ticks
@@ -57,7 +54,24 @@ let rec tick t =
   if Engine.pending t.engine > 0 then schedule t
 
 and schedule t =
-  ignore (Engine.schedule t.engine ~delay:t.interval (fun () -> tick t))
+  ignore
+    (Engine.schedule_call t.engine ~delay:t.interval t.cb_tick ~a:0 ~b:0
+       ~obj:(Obj.repr ()))
+
+let create ~engine ~interval =
+  if interval <= 0 then invalid_arg "Sampler.create: interval must be positive";
+  let t =
+    {
+      engine;
+      interval;
+      probes = [];
+      ticks = 0;
+      started = false;
+      cb_tick = Engine.null_callback;
+    }
+  in
+  t.cb_tick <- Engine.register_callback engine (fun _ _ _ -> tick t);
+  t
 
 let start t =
   if not t.started then begin

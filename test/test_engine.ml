@@ -39,13 +39,13 @@ let test_cancel () =
   let eng = Engine.create () in
   let fired = ref false in
   let h = Engine.schedule eng ~delay:10 (fun () -> fired := true) in
-  Alcotest.(check bool) "pending" true (Engine.is_pending h);
-  Engine.cancel h;
-  Alcotest.(check bool) "not pending" false (Engine.is_pending h);
+  Alcotest.(check bool) "pending" true (Engine.is_pending eng h);
+  Engine.cancel eng h;
+  Alcotest.(check bool) "not pending" false (Engine.is_pending eng h);
   Engine.run eng;
   Alcotest.(check bool) "did not fire" false !fired;
   (* Double cancel is harmless. *)
-  Engine.cancel h
+  Engine.cancel eng h
 
 let test_horizon () =
   let eng = Engine.create () in
@@ -100,9 +100,32 @@ let test_events_processed () =
     ignore (Engine.schedule eng ~delay:1 (fun () -> ()))
   done;
   let h = Engine.schedule eng ~delay:1 (fun () -> ()) in
-  Engine.cancel h;
+  Engine.cancel eng h;
   Engine.run eng;
   Alcotest.(check int) "cancelled not counted" 5 (Engine.events_processed eng)
+
+let test_schedule_call () =
+  (* The closure-free path: a registered callback receives the event's
+     immediate payload, and handles interoperate with cancel/is_pending. *)
+  let eng = Engine.create ~capacity:4 () in
+  let log = ref [] in
+  let cb =
+    Engine.register_callback eng (fun a b obj ->
+        log := (a, b, (Obj.obj obj : string)) :: !log)
+  in
+  ignore
+    (Engine.schedule_call eng ~delay:5 cb ~a:1 ~b:2 ~obj:(Obj.repr "x"));
+  let h = Engine.schedule_call eng ~delay:3 cb ~a:7 ~b:8 ~obj:(Obj.repr "y") in
+  Alcotest.(check bool) "call pending" true (Engine.is_pending eng h);
+  Alcotest.(check bool) "none is never pending" false
+    (Engine.is_pending eng Engine.none);
+  Engine.cancel eng Engine.none;
+  Engine.run eng;
+  Alcotest.(check bool) "fired handle dead" false (Engine.is_pending eng h);
+  Alcotest.(check (list (triple int int string)))
+    "payloads in time order"
+    [ (7, 8, "y"); (1, 2, "x") ]
+    (List.rev !log)
 
 let test_idle_horizon_advances_clock () =
   let eng = Engine.create () in
@@ -127,6 +150,7 @@ let () =
           Alcotest.test_case "stop" `Quick test_stop;
           Alcotest.test_case "negative delay" `Quick test_past_rejected;
           Alcotest.test_case "events_processed" `Quick test_events_processed;
+          Alcotest.test_case "schedule_call" `Quick test_schedule_call;
           Alcotest.test_case "idle horizon" `Quick test_idle_horizon_advances_clock;
         ] );
     ]
