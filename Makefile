@@ -2,7 +2,8 @@
 # on every commit.
 
 .PHONY: all build test examples micro bench-engine bench-engine-smoke \
-        fuzz-quick fuzz-soak campaign-quick check clean
+        bench-fwd bench-fwd-smoke fuzz-quick fuzz-soak campaign-quick \
+        check clean
 
 all: build
 
@@ -37,6 +38,16 @@ bench-engine:
 bench-engine-smoke:
 	dune exec bench/engine_bench.exe -- --smoke --out _build/BENCH_engine.smoke.json
 
+# Forwarding fast path in isolation (DESIGN.md §11): a single switch's
+# steady-state packets/sec and words/packet through the compiled
+# per-destination port arrays.  Fails if the steady-state loop touches
+# a hashtable even once (the zero-probe guarantee).
+bench-fwd:
+	dune exec bench/engine_bench.exe -- --fwd-only --out BENCH_fwd.json
+
+bench-fwd-smoke:
+	dune exec bench/engine_bench.exe -- --fwd-only --smoke --out _build/BENCH_fwd.smoke.json
+
 # Randomized fault-injection sweep with invariant oracles (DESIGN.md §8).
 # 200 scenarios x every scheme normally finishes in ~2 s; the wall budget
 # stops generating new scenarios if a slow machine would blow the CI
@@ -62,7 +73,7 @@ campaign-refreeze:
 	  dune exec bin/themis_campaign_cli.exe -- freeze --preset $$p || exit 1; \
 	done
 
-check: build test examples micro bench-engine-smoke fuzz-quick campaign-quick
+check: build test examples micro bench-engine-smoke bench-fwd-smoke fuzz-quick campaign-quick
 	@echo "check: OK"
 
 clean:

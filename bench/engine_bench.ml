@@ -93,6 +93,85 @@ let bench_incast ~schemes ~fanin ~bytes ~seed =
           acc + Engine.events_processed (Network.engine net))
         0 schemes)
 
+(* Single-switch forward/enqueue microbench: a standalone ToR with all
+   its ports attached and sink deliveries, fed pooled data packets from
+   four cross-rack flows in batches small enough to never hit buffer
+   admission.  Measures the pure per-packet forwarding cost
+   (route lookup + path choice + enqueue + tx/propagate events) as
+   packets/sec and minor words/packet, and asserts the compiled route
+   cache takes zero hashtable probes once warm. *)
+let bench_fwd ~packets =
+  let engine = Engine.create () in
+  let ls = Leaf_spine.build Leaf_spine.motivation in
+  let topo = ls.Leaf_spine.topo in
+  let routing = Routing.compute topo in
+  let tor = ls.Leaf_spine.leaves.(0) in
+  let cfg =
+    Switch.default_config ~bw:Leaf_spine.motivation.Leaf_spine.fabric_bw
+      Lb_policy.Random_spray
+  in
+  let sw =
+    Switch.create ~engine ~topo ~routing ~node:tor ~config:cfg
+      ~rng:(Rng.create ~seed:7)
+  in
+  List.iter
+    (fun (peer, link_id) ->
+      let link = Topology.link topo link_id in
+      let port =
+        Port.create ~engine ~bandwidth:link.Topology.bandwidth
+          ~delay:link.Topology.delay
+          ~label:(Printf.sprintf "%d->%d" tor peer)
+      in
+      Port.set_deliver port Packet_pool.release;
+      Switch.attach_port sw ~link_id ~peer port)
+    (Topology.neighbors topo tor);
+  let nflows = 4 in
+  let conns =
+    Array.init nflows (fun i ->
+        Flow_id.make
+          ~src:(Leaf_spine.host ls ~leaf:0 ~index:i)
+          ~dst:(Leaf_spine.host ls ~leaf:1 ~index:i)
+          ~qpn:1)
+  in
+  let psn = ref 0 in
+  let batch = 128 in
+  let run_batch () =
+    for i = 0 to batch - 1 do
+      let k = i land (nflows - 1) in
+      let pkt =
+        Packet_pool.data ~conn:conns.(k)
+          ~sport:(0x8000 lor k)
+          ~psn:(Psn.of_int !psn) ~payload:1000 ~last_of_msg:false
+          ~birth:(Engine.now engine) ()
+      in
+      incr psn;
+      Switch.receive sw pkt
+    done;
+    Engine.run engine
+  in
+  (* Warm the route cache and the packet pool before measuring, then
+     require the steady state to be probe-free. *)
+  run_batch ();
+  run_batch ();
+  let probes0 = Switch.forward_hash_probes () in
+  let iters = packets / batch in
+  let s =
+    measure (fun () ->
+        for _ = 1 to iters do
+          run_batch ()
+        done;
+        iters * batch)
+  in
+  let steady_probes = Switch.forward_hash_probes () - probes0 in
+  if steady_probes <> 0 then
+    failwith
+      (Printf.sprintf
+         "engine_bench: %d hashtable probes on the steady-state forward path"
+         steady_probes);
+  if Switch.forwarded_packets sw < packets then
+    failwith "engine_bench: fwd forwarded fewer packets than fed";
+  (s, steady_probes)
+
 (* The CI campaign grid, executed serially in-process: wall-clock here is
    what a single `make campaign-quick` worker pays per job. *)
 let bench_quick () =
@@ -119,21 +198,28 @@ type numbers = {
   incast_wpe : float;
   quick_jobs : int;
   quick_wall_s : float;
+  fwd_pps : float;
+  fwd_wpp : float;
 }
 
-(* Measured at commit aaa39e0 (closure-per-event engine, unpooled
-   packets) with this same harness; regenerate via EXPERIMENTS.md §
-   "Engine benchmark" after intentional model changes. *)
+(* Measured at commit 382b7f9 — the zero-allocation
+   engine of PR 4, before the dense-forwarding rewrite (hashed routing
+   tables, per-packet port probes, hashed QP/flow dispatch) — with this
+   same harness on the machine class that runs `make check`; regenerate
+   via EXPERIMENTS.md § "Engine benchmark" after intentional model
+   changes. *)
 let baseline : numbers option =
   Some
     {
-      mill_eps = 4298006.;
-      mill_wpe = 19.00;
+      mill_eps = 6370684.;
+      mill_wpe = 5.00;
       incast_events = 330667;
-      incast_eps = 2971971.;
-      incast_wpe = 29.85;
+      incast_eps = 4369677.;
+      incast_wpe = 6.14;
       quick_jobs = 6;
-      quick_wall_s = 5.36;
+      quick_wall_s = 2.31;
+      fwd_pps = 2585260.;
+      fwd_wpp = 30.00;
     }
 
 (* --- JSON ------------------------------------------------------------- *)
@@ -150,7 +236,7 @@ let j_sample s =
 let j_baseline (b : numbers) =
   Campaign_json.Obj
     [
-      ("commit", Campaign_json.Str "aaa39e0");
+      ("commit", Campaign_json.Str "382b7f9");
       ("mill_events_per_sec", Campaign_json.Num b.mill_eps);
       ("mill_minor_words_per_event", Campaign_json.Num b.mill_wpe);
       ("incast_events", Campaign_json.Num (float_of_int b.incast_events));
@@ -158,23 +244,46 @@ let j_baseline (b : numbers) =
       ("incast_minor_words_per_event", Campaign_json.Num b.incast_wpe);
       ("quick_jobs", Campaign_json.Num (float_of_int b.quick_jobs));
       ("quick_wall_s", Campaign_json.Num b.quick_wall_s);
+      ("fwd_packets_per_sec", Campaign_json.Num b.fwd_pps);
+      ("fwd_minor_words_per_packet", Campaign_json.Num b.fwd_wpp);
     ]
 
-let emit ~mill ~incast ~quick =
+let j_fwd (s, probes) =
+  Campaign_json.Obj
+    [
+      ("packets", Campaign_json.Num (float_of_int s.events));
+      ("wall_s", Campaign_json.Num s.wall_s);
+      ("packets_per_sec", Campaign_json.Num (events_per_sec s));
+      ("minor_words_per_packet", Campaign_json.Num (words_per_event s));
+      ("steady_state_hash_probes", Campaign_json.Num (float_of_int probes));
+    ]
+
+let emit ~mill ~incast ~quick ~fwd =
   let ratios =
-    match (baseline, quick) with
-    | Some b, Some (q, _) ->
+    match (baseline, mill, incast, quick) with
+    | Some b, Some mill, Some incast, Some (q, _) ->
         [
           ( "ratios",
             Campaign_json.Obj
-              [
-                ( "incast_minor_words_reduction",
-                  Campaign_json.Num (b.incast_wpe /. words_per_event incast) );
-                ( "quick_wall_speedup",
-                  Campaign_json.Num (b.quick_wall_s /. q.wall_s) );
-                ( "mill_events_per_sec_speedup",
-                  Campaign_json.Num (events_per_sec mill /. b.mill_eps) );
-              ] );
+              ([
+                 ( "incast_minor_words_reduction",
+                   Campaign_json.Num (b.incast_wpe /. words_per_event incast)
+                 );
+                 ( "incast_events_per_sec_speedup",
+                   Campaign_json.Num (events_per_sec incast /. b.incast_eps) );
+                 ( "quick_wall_speedup",
+                   Campaign_json.Num (b.quick_wall_s /. q.wall_s) );
+                 ( "mill_events_per_sec_speedup",
+                   Campaign_json.Num (events_per_sec mill /. b.mill_eps) );
+               ]
+              @
+              match fwd with
+              | Some (f, _) when b.fwd_pps > 0. ->
+                  [
+                    ( "fwd_packets_per_sec_speedup",
+                      Campaign_json.Num (events_per_sec f /. b.fwd_pps) );
+                  ]
+              | Some _ | None -> []) );
         ]
     | _ -> []
   in
@@ -191,15 +300,17 @@ let emit ~mill ~incast ~quick =
         ]
     | None -> []
   in
+  let opt key f v = match v with Some v -> [ (key, f v) ] | None -> [] in
   let doc =
     Campaign_json.Obj
       ([
          ("bench", Campaign_json.Str "engine");
          ("mode", Campaign_json.Str (if !smoke then "smoke" else "full"));
-         ("mill", j_sample mill);
-         ("incast", j_sample incast);
        ]
+      @ opt "mill" j_sample mill
+      @ opt "incast" j_sample incast
       @ quick_fields
+      @ opt "fwd" j_fwd fwd
       @ (match baseline with
         | Some b -> [ ("baseline", j_baseline b) ]
         | None -> [])
@@ -213,7 +324,7 @@ let emit ~mill ~incast ~quick =
 (* The smoke path is the `make check` gate: it must prove the harness
    runs end-to-end and that the file it wrote is valid JSON with the
    fields the trajectory tooling reads. *)
-let validate_output () =
+let validate_output ~keys =
   let ic = open_in !out_path in
   let n = in_channel_length ic in
   let s = really_input_string ic n in
@@ -227,38 +338,58 @@ let validate_output () =
           | Some _ -> ()
           | None ->
               failwith (Printf.sprintf "engine_bench: missing field %S" key))
-        [ "bench"; "mode"; "mill"; "incast" ]
+        keys
+
+let pp_fwd (f, probes) =
+  Printf.sprintf "fwd %.0f pkt/s, %.2f w/pkt, %d steady probes"
+    (events_per_sec f) (words_per_event f) probes
 
 let () =
+  let fwd_only = ref false in
   let rec parse = function
     | [] -> ()
     | "--smoke" :: rest ->
         smoke := true;
         parse rest
+    | "--fwd-only" :: rest ->
+        fwd_only := true;
+        parse rest
     | "--out" :: path :: rest ->
         out_path := path;
         parse rest
     | arg :: _ ->
-        prerr_endline ("usage: engine_bench [--smoke] [--out PATH]; got " ^ arg);
+        prerr_endline
+          ("usage: engine_bench [--smoke] [--fwd-only] [--out PATH]; got "
+         ^ arg);
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let mill = bench_mill ~events:(if !smoke then 20_000 else 4_000_000) in
-  let incast =
-    if !smoke then
-      bench_incast ~schemes:[ "ecmp" ] ~fanin:2 ~bytes:50_000 ~seed:3
-    else
-      bench_incast
-        ~schemes:[ "ecmp"; "adaptive"; "random-spray"; "themis" ]
-        ~fanin:8 ~bytes:1_000_000 ~seed:3
-  in
-  let quick = if !smoke then None else Some (bench_quick ()) in
-  emit ~mill ~incast ~quick;
-  validate_output ();
-  Printf.printf "engine_bench: mill %.0f ev/s, %.2f w/ev | incast %d ev, %.0f ev/s, %.2f w/ev%s\n"
-    (events_per_sec mill) (words_per_event mill) incast.events
-    (events_per_sec incast) (words_per_event incast)
-    (match quick with
-    | Some (q, jobs) -> Printf.sprintf " | quick %d jobs %.2f s" jobs q.wall_s
-    | None -> "");
+  let fwd = bench_fwd ~packets:(if !smoke then 12_800 else 1_280_000) in
+  if !fwd_only then begin
+    emit ~mill:None ~incast:None ~quick:None ~fwd:(Some fwd);
+    validate_output ~keys:[ "bench"; "mode"; "fwd" ];
+    Printf.printf "engine_bench: %s\n" (pp_fwd fwd)
+  end
+  else begin
+    let mill = bench_mill ~events:(if !smoke then 20_000 else 4_000_000) in
+    let incast =
+      if !smoke then
+        bench_incast ~schemes:[ "ecmp" ] ~fanin:2 ~bytes:50_000 ~seed:3
+      else
+        bench_incast
+          ~schemes:[ "ecmp"; "adaptive"; "random-spray"; "themis" ]
+          ~fanin:8 ~bytes:1_000_000 ~seed:3
+    in
+    let quick = if !smoke then None else Some (bench_quick ()) in
+    emit ~mill:(Some mill) ~incast:(Some incast) ~quick ~fwd:(Some fwd);
+    validate_output ~keys:[ "bench"; "mode"; "mill"; "incast"; "fwd" ];
+    Printf.printf
+      "engine_bench: mill %.0f ev/s, %.2f w/ev | incast %d ev, %.0f ev/s, \
+       %.2f w/ev | %s%s\n"
+      (events_per_sec mill) (words_per_event mill) incast.events
+      (events_per_sec incast) (words_per_event incast) (pp_fwd fwd)
+      (match quick with
+      | Some (q, jobs) -> Printf.sprintf " | quick %d jobs %.2f s" jobs q.wall_s
+      | None -> "")
+  end;
   Printf.printf "engine_bench: wrote %s\n" !out_path

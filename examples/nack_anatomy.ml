@@ -43,7 +43,7 @@ let receive_nack d epsn =
 
 let fresh () =
   Themis_d.create ~paths ~queue_capacity:32
-    ~inject_nack:(fun ~conn:_ ~sport:_ ~epsn ->
+    ~inject_nack:(fun ~conn:_ ~conn_id:_ ~sport:_ ~epsn ->
       Format.printf
         "  >> Themis-D generates NACK(ePSN=%d) on the RNIC's behalf@."
         (Psn.to_int epsn))

@@ -7,6 +7,7 @@ let ok_exn what = function
 let with_fresh_context f =
   Packet.reset_uid_counter ();
   Packet_pool.reset ();
+  Flow_id.reset_interner ();
   Telemetry.disable ();
   ignore (Telemetry.enable ());
   Fun.protect ~finally:Telemetry.disable f

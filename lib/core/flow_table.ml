@@ -4,17 +4,39 @@ type entry = {
   mutable valid : bool;
 }
 
-type t = { queue_capacity : int; entries : entry Flow_id.Table.t }
+(* Dense storage indexed by the flow's interned id: per-packet lookups
+   ([find_or_add_id], fed by [Packet.conn_id]) are a single array read;
+   the hash is paid only by id-less entry points, which go through the
+   global interner.  Slot arrays are grown on demand and never shrink —
+   ids are small and dense by construction. *)
+type slot = { s_flow : Flow_id.t; s_entry : entry }
+
+type t = {
+  queue_capacity : int;
+  mutable slots : slot option array;  (* interned flow id -> entry *)
+  mutable count : int;
+}
 
 let entry_bytes = 20
 
 let create ~queue_capacity =
   if queue_capacity < 1 then invalid_arg "Flow_table.create: queue_capacity";
-  { queue_capacity; entries = Flow_id.Table.create 64 }
+  { queue_capacity; slots = Array.make 16 None; count = 0 }
 
-let find_or_add t flow =
-  match Flow_id.Table.find_opt t.entries flow with
-  | Some e -> e
+let grow t id =
+  let len = Array.length t.slots in
+  let ncap = ref (Stdlib.max 16 (2 * len)) in
+  while id >= !ncap do
+    ncap := 2 * !ncap
+  done;
+  let nslots = Array.make !ncap None in
+  Array.blit t.slots 0 nslots 0 len;
+  t.slots <- nslots
+
+let find_or_add_id t ~id flow =
+  if id >= Array.length t.slots then grow t id;
+  match Array.unsafe_get t.slots id with
+  | Some s -> s.s_entry
   | None ->
       let e =
         {
@@ -23,15 +45,42 @@ let find_or_add t flow =
           valid = false;
         }
       in
-      Flow_id.Table.add t.entries flow e;
+      t.slots.(id) <- Some { s_flow = flow; s_entry = e };
+      t.count <- t.count + 1;
       e
 
-let find t flow = Flow_id.Table.find_opt t.entries flow
-let remove t flow = Flow_id.Table.remove t.entries flow
-let size t = Flow_id.Table.length t.entries
-let iter f t = Flow_id.Table.iter f t.entries
+let find_or_add t flow = find_or_add_id t ~id:(Flow_id.intern flow) flow
+
+let slot_of t flow =
+  match Flow_id.lookup_interned flow with
+  | None -> None
+  | Some id -> if id < Array.length t.slots then t.slots.(id) else None
+
+let find t flow =
+  match slot_of t flow with None -> None | Some s -> Some s.s_entry
+
+let remove t flow =
+  match Flow_id.lookup_interned flow with
+  | None -> ()
+  | Some id ->
+      if id < Array.length t.slots && t.slots.(id) <> None then begin
+        t.slots.(id) <- None;
+        t.count <- t.count - 1
+      end
+
+let size t = t.count
+
+(* Iteration order is interned-id (first-touch) order: deterministic,
+   unlike the hashed layout this replaces. *)
+let iter f t =
+  Array.iter
+    (function None -> () | Some s -> f s.s_flow s.s_entry)
+    t.slots
 
 let memory_bytes t =
-  Flow_id.Table.fold
-    (fun _ e acc -> acc + entry_bytes + Psn_queue.capacity e.queue)
-    t.entries 0
+  Array.fold_left
+    (fun acc slot ->
+      match slot with
+      | None -> acc
+      | Some s -> acc + entry_bytes + Psn_queue.capacity s.s_entry.queue)
+    0 t.slots

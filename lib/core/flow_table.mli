@@ -25,10 +25,19 @@ val create : queue_capacity:int -> t
 (** [queue_capacity] sizes each new entry's PSN queue. *)
 
 val find_or_add : t -> Flow_id.t -> entry
+(** Interns the flow to obtain its dense id; per-packet callers that
+    already carry it should use {!find_or_add_id}. *)
+
+val find_or_add_id : t -> id:int -> Flow_id.t -> entry
+(** [id] must be [Flow_id.intern flow] (e.g. [Packet.conn_id]); the
+    hot-path lookup, a single array index. *)
+
 val find : t -> Flow_id.t -> entry option
 val remove : t -> Flow_id.t -> unit
 val size : t -> int
 val iter : (Flow_id.t -> entry -> unit) -> t -> unit
+(** In interned-id (first-touch) order. *)
+
 
 val memory_bytes : t -> int
 (** Switch SRAM the table would occupy: entries * (20 + queue capacity). *)

@@ -16,7 +16,8 @@ type t = {
   node : int;  (* owning ToR, for telemetry; -1 when standalone *)
   clock : unit -> Sim_time.t;  (* telemetry timestamps *)
   table : Flow_table.t;
-  inject_nack : conn:Flow_id.t -> sport:int -> epsn:Psn.t -> unit;
+  inject_nack :
+    conn:Flow_id.t -> conn_id:int -> sport:int -> epsn:Psn.t -> unit;
   mutable nacks_seen : int;
   mutable nacks_blocked : int;
   mutable nacks_forwarded_valid : int;
@@ -70,7 +71,7 @@ let set_paths t paths =
 
 let register_flow t flow = ignore (Flow_table.find_or_add t.table flow)
 
-let check_compensation t (entry : Flow_table.entry) conn sport psn =
+let check_compensation t (entry : Flow_table.entry) conn conn_id sport psn =
   if entry.Flow_table.valid then begin
     let bepsn = entry.Flow_table.bepsn in
     if Psn.equal psn bepsn then begin
@@ -89,7 +90,7 @@ let check_compensation t (entry : Flow_table.entry) conn sport psn =
         (Some
            (Event.Nack_compensated
               { node = t.node; conn; epsn = Psn.to_int bepsn }));
-      t.inject_nack ~conn ~sport ~epsn:bepsn
+      t.inject_nack ~conn ~conn_id ~sport ~epsn:bepsn
     end
   end
 
@@ -97,9 +98,13 @@ let on_data t (pkt : Packet.t) =
   match pkt.Packet.kind with
   | Packet.Data { psn; _ } ->
       t.data_seen <- t.data_seen + 1;
-      let entry = Flow_table.find_or_add t.table pkt.Packet.conn in
+      let entry =
+        Flow_table.find_or_add_id t.table ~id:pkt.Packet.conn_id
+          pkt.Packet.conn
+      in
       if t.compensation then
-        check_compensation t entry pkt.Packet.conn pkt.Packet.udp_sport psn;
+        check_compensation t entry pkt.Packet.conn pkt.Packet.conn_id
+          pkt.Packet.udp_sport psn;
       Psn_queue.push entry.Flow_table.queue psn
   | Packet.Ack _ | Packet.Nack _ | Packet.Cnp | Packet.Pause _ ->
       invalid_arg "Themis_d.on_data: not a data packet"
@@ -108,7 +113,10 @@ let on_nack t (pkt : Packet.t) =
   match pkt.Packet.kind with
   | Packet.Nack { epsn } -> (
       t.nacks_seen <- t.nacks_seen + 1;
-      let entry = Flow_table.find_or_add t.table pkt.Packet.conn in
+      let entry =
+        Flow_table.find_or_add_id t.table ~id:pkt.Packet.conn_id
+          pkt.Packet.conn
+      in
       match Psn_queue.pop_until_greater entry.Flow_table.queue epsn with
       | None ->
           (* Cannot identify the trigger: err on the side of recovery. *)

@@ -43,7 +43,8 @@ val create :
   ?compensation:bool ->
   ?node:int ->
   ?clock:(unit -> Sim_time.t) ->
-  inject_nack:(conn:Flow_id.t -> sport:int -> epsn:Psn.t -> unit) ->
+  inject_nack:
+    (conn:Flow_id.t -> conn_id:int -> sport:int -> epsn:Psn.t -> unit) ->
   unit ->
   t
 (** [compensation] defaults to [true]; disabling it is the ABL ablation.

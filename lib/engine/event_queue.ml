@@ -76,6 +76,14 @@ let grow_arena q =
   done;
   q.free_head <- cap
 
+(* The heap is 4-ary: (time, seq) is a strict total order (seq is
+   unique), so the pop sequence is identical for any correct min-heap —
+   arity is invisible to consumers.  Four-way nodes halve the sift depth
+   and the four children [4i+1 .. 4i+4] share a cache line in the
+   structure-of-arrays layout, which is where the sift-down loop —
+   the single hottest function in the whole simulator — spends its
+   time. *)
+
 (* Hole-percolation sift-up: the new element's (time, seq, slot) ride in
    registers while ancestors shift down, so each level is one compare and
    three int stores. *)
@@ -86,7 +94,7 @@ let rec sift_up q i ~time ~seq ~slot =
     q.slots.(0) <- slot
   end
   else begin
-    let parent = (i - 1) / 2 in
+    let parent = (i - 1) / 4 in
     let pt = Array.unsafe_get q.times parent in
     if time < pt || (time = pt && seq < Array.unsafe_get q.seqs parent) then begin
       q.times.(i) <- pt;
@@ -105,30 +113,67 @@ let rec sift_up q i ~time ~seq ~slot =
    children's keys into locals once, so the comparator path is
    branch-and-load only (no refs, no entry records). *)
 let rec sift_down q i ~time ~seq ~slot =
-  let l = (2 * i) + 1 in
+  let l = (4 * i) + 1 in
   if l >= q.size then begin
     q.times.(i) <- time;
     q.seqs.(i) <- seq;
     q.slots.(i) <- slot
   end
   else begin
-    let r = l + 1 in
-    let c =
-      if r < q.size then begin
-        let lt = Array.unsafe_get q.times l
-        and rt = Array.unsafe_get q.times r in
-        if
-          rt < lt
-          || (rt = lt && Array.unsafe_get q.seqs r < Array.unsafe_get q.seqs l)
-        then r
-        else l
-      end
-      else l
-    in
-    let ct = Array.unsafe_get q.times c in
-    if ct < time || (ct = time && Array.unsafe_get q.seqs c < seq) then begin
+    (* Min of the up-to-four children, keys kept in registers.  The
+       interior-node case (all four children present) is unrolled
+       straight-line; only the ragged last node takes the loop. *)
+    (* Seqs are consulted only on a time tie, so the common path loads
+       one int per child; keys are unique (seq is a tiebreak nonce), so
+       scan order is unobservable.  Unrolled by hand — a local helper
+       closure would capture the accumulator refs and box them. *)
+    let c = ref l and ct = ref (Array.unsafe_get q.times l) in
+    (if l + 3 < q.size then begin
+       let t1 = Array.unsafe_get q.times (l + 1) in
+       if
+         t1 < !ct
+         || t1 = !ct
+            && Array.unsafe_get q.seqs (l + 1) < Array.unsafe_get q.seqs !c
+       then begin
+         c := l + 1;
+         ct := t1
+       end;
+       let t2 = Array.unsafe_get q.times (l + 2) in
+       if
+         t2 < !ct
+         || t2 = !ct
+            && Array.unsafe_get q.seqs (l + 2) < Array.unsafe_get q.seqs !c
+       then begin
+         c := l + 2;
+         ct := t2
+       end;
+       let t3 = Array.unsafe_get q.times (l + 3) in
+       if
+         t3 < !ct
+         || t3 = !ct
+            && Array.unsafe_get q.seqs (l + 3) < Array.unsafe_get q.seqs !c
+       then begin
+         c := l + 3;
+         ct := t3
+       end
+     end
+     else
+       for k = l + 1 to q.size - 1 do
+         let kt = Array.unsafe_get q.times k in
+         if
+           kt < !ct
+           || kt = !ct
+              && Array.unsafe_get q.seqs k < Array.unsafe_get q.seqs !c
+         then begin
+           c := k;
+           ct := kt
+         end
+       done);
+    let c = !c and ct = !ct in
+    let cs = Array.unsafe_get q.seqs c in
+    if ct < time || (ct = time && cs < seq) then begin
       q.times.(i) <- ct;
-      q.seqs.(i) <- Array.unsafe_get q.seqs c;
+      q.seqs.(i) <- cs;
       q.slots.(i) <- Array.unsafe_get q.slots c;
       sift_down q c ~time ~seq ~slot
     end
@@ -146,7 +191,10 @@ let add q ~time ~cb ~a ~b ~obj =
   q.cbs.(s) <- cb;
   q.args_a.(s) <- a;
   q.args_b.(s) <- b;
-  q.objs.(s) <- obj;
+  (* Freed slots always hold [obj_unit] ([free_slot] restores it), so
+     unit-payload events — timers, pacing ticks — skip the [Obj.t]
+     store and its write barrier entirely. *)
+  if obj != obj_unit then q.objs.(s) <- obj;
   q.dead.(s) <- false;
   if q.size >= Array.length q.times then grow_heap q;
   let seq = q.next_seq in
@@ -184,7 +232,9 @@ let top_obj q = Array.unsafe_get q.objs (top_slot q)
 
 let free_slot q s =
   q.gens.(s) <- q.gens.(s) + 1;
-  q.objs.(s) <- obj_unit;
+  (* Keep the freed-slot invariant [objs.(s) = obj_unit] relied on by
+     [add], but skip the barrier when it already holds. *)
+  if q.objs.(s) != obj_unit then q.objs.(s) <- obj_unit;
   q.free_next.(s) <- q.free_head;
   q.free_head <- s
 

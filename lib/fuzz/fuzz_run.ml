@@ -183,6 +183,7 @@ let run_scheme (spec : Fuzz_spec.t) ~scheme : outcome =
      function, so the determinism oracle can demand bit-equality. *)
   Packet.reset_uid_counter ();
   Packet_pool.reset ();
+  Flow_id.reset_interner ();
   Telemetry.disable ();
   let net = build spec ~scheme in
   let eng = engine net in

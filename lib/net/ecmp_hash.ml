@@ -36,6 +36,52 @@ let flow_hash ~src ~dst ~sport ~dport =
   let base = mix ((src * 65_599) + dst + (dport * 131)) in
   (base lxor linear16 (sport land 0xFFFF)) land max_int
 
+(* Per-flow memo indexed by the interned flow id.  The entry is validated
+   against the full (src, dst, sport, dport) tuple before use, so it is
+   pure memoization: stale entries (sport rewrites, interner resets
+   between runs) miss the validation and are recomputed in place.  No
+   reset hook is needed for correctness. *)
+let m_src = ref (Array.make 64 (-1))
+let m_dst = ref (Array.make 64 0)
+let m_sport = ref (Array.make 64 0)
+let m_dport = ref (Array.make 64 0)
+let m_hash = ref (Array.make 64 0)
+
+let memo_grow id =
+  let len = Array.length !m_src in
+  let nlen = Stdlib.max (id + 1) (2 * len) in
+  let grow r fill =
+    let na = Array.make nlen fill in
+    Array.blit !r 0 na 0 len;
+    r := na
+  in
+  grow m_src (-1);
+  grow m_dst 0;
+  grow m_sport 0;
+  grow m_dport 0;
+  grow m_hash 0
+
+let flow_hash_id ~id ~src ~dst ~sport ~dport =
+  if id < 0 then flow_hash ~src ~dst ~sport ~dport
+  else begin
+    if id >= Array.length !m_src then memo_grow id;
+    if
+      Array.unsafe_get !m_src id = src
+      && Array.unsafe_get !m_dst id = dst
+      && Array.unsafe_get !m_sport id = sport
+      && Array.unsafe_get !m_dport id = dport
+    then Array.unsafe_get !m_hash id
+    else begin
+      let h = flow_hash ~src ~dst ~sport ~dport in
+      Array.unsafe_set !m_src id src;
+      Array.unsafe_set !m_dst id dst;
+      Array.unsafe_set !m_sport id sport;
+      Array.unsafe_set !m_dport id dport;
+      Array.unsafe_set !m_hash id h;
+      h
+    end
+  end
+
 let path_of_hash_at ~shift ~hash ~paths =
   if paths <= 0 then invalid_arg "Ecmp_hash.path_of_hash";
   let h = hash lsr shift in

@@ -1,6 +1,21 @@
 type table = { dist : int array; hops : (int * int) array array }
 
-type t = { topo : Topology.t; mutable tables : (int, table) Hashtbl.t }
+(* Shared sentinel for nodes that are not destinations (switches, or
+   out-of-range ids): physical equality against it is the "no table"
+   test, so the dense array needs no option boxing. *)
+let no_table = { dist = [||]; hops = [||] }
+
+type t = {
+  topo : Topology.t;
+  mutable tables : table array;  (* destination node id -> table *)
+  mutable generation : int;
+      (* Bumped on every [recompute]; switches compare it to decide when
+         their compiled port arrays are stale. *)
+  mutable pc_memo : int array array;
+      (* path_count memo: dst -> per-source counts (-1 = unknown), the
+         inner array allocated lazily on the first query for that dst.
+         Cleared wholesale on [recompute]. *)
+}
 
 let build_table topo dst =
   let n = Topology.node_count topo in
@@ -34,45 +49,65 @@ let build_table topo dst =
   in
   { dist; hops }
 
+let build_tables topo =
+  let tables = Array.make (Topology.node_count topo) no_table in
+  Array.iter (fun h -> tables.(h) <- build_table topo h) (Topology.hosts topo);
+  tables
+
 let compute topo =
-  let tables = Hashtbl.create 64 in
-  Array.iter
-    (fun h -> Hashtbl.replace tables h (build_table topo h))
-    (Topology.hosts topo);
-  { topo; tables }
+  {
+    topo;
+    tables = build_tables topo;
+    generation = 0;
+    pc_memo = Array.make (Topology.node_count topo) [||];
+  }
 
 let recompute t =
-  let tables = Hashtbl.create 64 in
-  Array.iter
-    (fun h -> Hashtbl.replace tables h (build_table t.topo h))
-    (Topology.hosts t.topo);
-  t.tables <- tables
+  t.tables <- build_tables t.topo;
+  Array.fill t.pc_memo 0 (Array.length t.pc_memo) [||];
+  t.generation <- t.generation + 1
+
+let generation t = t.generation
 
 let table t dst =
-  match Hashtbl.find_opt t.tables dst with
-  | Some tbl -> tbl
-  | None -> invalid_arg "Routing: destination is not a host"
+  if dst < 0 || dst >= Array.length t.tables then
+    invalid_arg "Routing: destination is not a host"
+  else
+    let tbl = Array.unsafe_get t.tables dst in
+    if tbl == no_table then invalid_arg "Routing: destination is not a host"
+    else tbl
 
 let next_hops t ~node ~dst = (table t dst).hops.(node)
 let distance t ~node ~dst = (table t dst).dist.(node)
 
+(* Memoized per (src, dst) in [pc_memo]; Themis-S setup queries this
+   once per flow, so the BFS-table walk must not be repaid per call. *)
 let path_count t ~src ~dst =
   if src = dst then 1
-  else
+  else begin
     let tbl = table t dst in
-    let memo = Hashtbl.create 32 in
+    let memo =
+      match t.pc_memo.(dst) with
+      | [||] ->
+          let m = Array.make (Array.length tbl.dist) (-1) in
+          t.pc_memo.(dst) <- m;
+          m
+      | m -> m
+    in
     let rec count u =
       if u = dst then 1
       else
-        match Hashtbl.find_opt memo u with
-        | Some c -> c
-        | None ->
-            let c =
-              Array.fold_left
-                (fun acc (peer, _) -> acc + count peer)
-                0 tbl.hops.(u)
-            in
-            Hashtbl.add memo u c;
-            c
+        let c = memo.(u) in
+        if c >= 0 then c
+        else begin
+          let c =
+            Array.fold_left
+              (fun acc (peer, _) -> acc + count peer)
+              0 tbl.hops.(u)
+          in
+          memo.(u) <- c;
+          c
+        end
     in
     count src
+  end

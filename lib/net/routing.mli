@@ -12,7 +12,14 @@ val compute : Topology.t -> t
 (** Build tables for all hosts as destinations. *)
 
 val recompute : t -> unit
-(** Rebuild after a link status change. *)
+(** Rebuild after a link status change.  Bumps {!generation} and drops
+    the {!path_count} memo. *)
+
+val generation : t -> int
+(** Incremented on every {!recompute}.  Consumers that compile these
+    tables into denser forms (the switch's per-destination port arrays)
+    compare generations to invalidate their caches, instead of routing
+    registering callbacks into every switch. *)
 
 val next_hops : t -> node:int -> dst:int -> (int * int) array
 (** Equal-cost [(peer_node, link_id)] choices at [node] towards host [dst],
@@ -22,4 +29,6 @@ val distance : t -> node:int -> dst:int -> int
 (** Hop count to [dst]; [max_int] if unreachable. *)
 
 val path_count : t -> src:int -> dst:int -> int
-(** Number of distinct equal-cost shortest paths between two hosts. *)
+(** Number of distinct equal-cost shortest paths between two hosts.
+    Memoized per [(src, dst)] until the next {!recompute} — it is called
+    per flow by Themis-S setup. *)

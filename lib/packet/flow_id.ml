@@ -16,3 +16,36 @@ module Table = Hashtbl.Make (struct
   let equal = equal
   let hash = hash
 end)
+
+(* --- Interning --------------------------------------------------------- *)
+
+(* Flows get small dense ids in first-touch order, so per-flow state on
+   the hot path (Themis-D flow table, RNIC QP dispatch) indexes plain
+   arrays instead of hashing the triple per packet.  The table is global
+   mutable state exactly like [Packet.uid_counter]: campaign jobs and
+   fuzz runs reset it at the same boundaries, which keeps id assignment
+   (and therefore every downstream array layout) identical between
+   serial and forked executions of the same job. *)
+
+let interner : int Table.t = Table.create 256
+let next_intern = ref 0
+
+let intern fl =
+  match Table.find_opt interner fl with
+  | Some id -> id
+  | None ->
+      let id = !next_intern in
+      incr next_intern;
+      Table.add interner fl id;
+      id
+
+let lookup_interned fl = Table.find_opt interner fl
+let interned_count () = !next_intern
+
+let reset_interner () =
+  Table.reset interner;
+  next_intern := 0
+
+let intern_snapshot () =
+  Table.fold (fun fl id acc -> (id, fl) :: acc) interner []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

@@ -14,3 +14,32 @@ val hash : t -> int
 val pp : Format.formatter -> t -> unit
 
 module Table : Hashtbl.S with type key = t
+
+(** {2 Interning}
+
+    Dense integer ids assigned in first-touch order.  Hot-path per-flow
+    state (the Themis-D flow table, RNIC QP dispatch, receiver state)
+    is keyed on these so steady-state packet processing indexes arrays
+    with zero hashing; the hash is paid once per flow at first touch.
+    The interner is global run state like [Packet]'s uid counter and is
+    reset at the same campaign-job / fuzz-run boundaries, making id
+    assignment deterministic and byte-identical across serial and
+    forked executions. *)
+
+val intern : t -> int
+(** The flow's dense id, assigning the next free one on first touch. *)
+
+val lookup_interned : t -> int option
+(** Like {!intern} but never assigns — for read-only lookups that must
+    not perturb id assignment order. *)
+
+val interned_count : unit -> int
+(** Number of ids assigned since the last reset; all ids are below it. *)
+
+val reset_interner : unit -> unit
+(** Forget all assignments; called wherever [Packet.reset_uid_counter]
+    is so every run starts from identical global state. *)
+
+val intern_snapshot : unit -> (int * t) list
+(** Current [(id, flow)] assignment sorted by id — determinism tests
+    compare this across runs. *)

@@ -12,6 +12,7 @@ type kind =
 type t = {
   mutable uid : int;
   mutable conn : Flow_id.t;
+  mutable conn_id : int;
   mutable src_node : int;
   mutable dst_node : int;
   mutable kind : kind;
@@ -31,11 +32,16 @@ let fresh_uid () =
 
 let reset_uid_counter () = uid_counter := 0
 
-let data ~conn ~sport ~psn ~payload ~last_of_msg ?(retransmission = false)
-    ~birth () =
+let resolve_conn_id conn = function
+  | Some id -> id
+  | None -> Flow_id.intern conn
+
+let data ~conn ?conn_id ~sport ~psn ~payload ~last_of_msg
+    ?(retransmission = false) ~birth () =
   {
     uid = fresh_uid ();
     conn;
+    conn_id = resolve_conn_id conn conn_id;
     src_node = conn.Flow_id.src;
     dst_node = conn.Flow_id.dst;
     kind = Data { psn; payload; last_of_msg };
@@ -47,10 +53,11 @@ let data ~conn ~sport ~psn ~payload ~last_of_msg ?(retransmission = false)
     pooled = false;
   }
 
-let control ~conn ~sport ~kind ~size ~birth =
+let control ~conn ?conn_id ~sport ~kind ~size ~birth () =
   {
     uid = fresh_uid ();
     conn;
+    conn_id = resolve_conn_id conn conn_id;
     src_node = conn.Flow_id.dst;
     dst_node = conn.Flow_id.src;
     kind;
@@ -63,13 +70,13 @@ let control ~conn ~sport ~kind ~size ~birth =
   }
 
 let ack ~conn ~sport ~psn ~birth =
-  control ~conn ~sport ~kind:(Ack { psn }) ~size:Headers.ack_bytes ~birth
+  control ~conn ~sport ~kind:(Ack { psn }) ~size:Headers.ack_bytes ~birth ()
 
 let nack ~conn ~sport ~epsn ~birth =
-  control ~conn ~sport ~kind:(Nack { epsn }) ~size:Headers.ack_bytes ~birth
+  control ~conn ~sport ~kind:(Nack { epsn }) ~size:Headers.ack_bytes ~birth ()
 
 let cnp ~conn ~sport ~birth =
-  control ~conn ~sport ~kind:Cnp ~size:Headers.cnp_bytes ~birth
+  control ~conn ~sport ~kind:Cnp ~size:Headers.cnp_bytes ~birth ()
 
 let is_data t = match t.kind with Data _ -> true | Ack _ | Nack _ | Cnp | Pause _ -> false
 let is_nack t = match t.kind with Nack _ -> true | Data _ | Ack _ | Cnp | Pause _ -> false

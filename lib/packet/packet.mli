@@ -35,6 +35,10 @@ type t = {
   mutable uid : int;
       (** Unique per simulated packet; retransmissions get fresh ids. *)
   mutable conn : Flow_id.t;
+  mutable conn_id : int;
+      (** [conn]'s dense interned id ({!Flow_id.intern}), carried so
+          per-flow dispatch on the hot path indexes arrays instead of
+          hashing the triple per packet. *)
   mutable src_node : int;
   mutable dst_node : int;
   mutable kind : kind;
@@ -48,6 +52,7 @@ type t = {
 
 val data :
   conn:Flow_id.t ->
+  ?conn_id:int ->
   sport:int ->
   psn:Psn.t ->
   payload:int ->

@@ -42,14 +42,19 @@ let reset () =
 
 let stats () = (!reused, !fresh)
 
-let data ~conn ~sport ~psn ~payload ~last_of_msg ?(retransmission = false)
-    ~birth () =
+let resolve_conn_id conn = function
+  | Some id -> id
+  | None -> Flow_id.intern conn
+
+let data ~conn ?conn_id ~sport ~psn ~payload ~last_of_msg
+    ?(retransmission = false) ~birth () =
   if free_data.len > 0 then begin
     incr reused;
     let p = pop free_data in
     p.pooled <- false;
     p.uid <- Packet.fresh_uid ();
     p.conn <- conn;
+    p.conn_id <- resolve_conn_id conn conn_id;
     p.src_node <- conn.Flow_id.src;
     p.dst_node <- conn.Flow_id.dst;
     (match p.kind with
@@ -67,16 +72,17 @@ let data ~conn ~sport ~psn ~payload ~last_of_msg ?(retransmission = false)
   end
   else begin
     incr fresh;
-    Packet.data ~conn ~sport ~psn ~payload ~last_of_msg ~retransmission ~birth
-      ()
+    Packet.data ~conn ?conn_id ~sport ~psn ~payload ~last_of_msg
+      ~retransmission ~birth ()
   end
 
 (* Control packets travel dst -> src of [conn]; the caller has already
    set [p.kind]. *)
-let reuse_control p ~conn ~sport ~size ~birth =
+let reuse_control p ~conn ~conn_id ~sport ~size ~birth =
   p.pooled <- false;
   p.uid <- Packet.fresh_uid ();
   p.conn <- conn;
+  p.conn_id <- conn_id;
   p.src_node <- conn.Flow_id.dst;
   p.dst_node <- conn.Flow_id.src;
   p.size <- size;
@@ -86,43 +92,48 @@ let reuse_control p ~conn ~sport ~size ~birth =
   p.birth <- birth;
   p
 
-let ack ~conn ~sport ~psn ~birth =
+let ack ~conn ~conn_id ~sport ~psn ~birth =
   if free_ctrl.len > 0 then begin
     incr reused;
     let p = pop free_ctrl in
     (match p.kind with
     | Ack a -> a.psn <- psn
     | Data _ | Nack _ | Cnp | Pause _ -> p.kind <- Ack { psn });
-    reuse_control p ~conn ~sport ~size:Headers.ack_bytes ~birth
+    reuse_control p ~conn ~conn_id ~sport ~size:Headers.ack_bytes ~birth
   end
   else begin
     incr fresh;
+    (* Fresh allocation is the cold path; [Packet.ack] re-interns [conn],
+       which by construction yields the same id as [conn_id]. *)
+    ignore conn_id;
     Packet.ack ~conn ~sport ~psn ~birth
   end
 
-let nack ~conn ~sport ~epsn ~birth =
+let nack ~conn ~conn_id ~sport ~epsn ~birth =
   if free_ctrl.len > 0 then begin
     incr reused;
     let p = pop free_ctrl in
     (match p.kind with
     | Nack n -> n.epsn <- epsn
     | Data _ | Ack _ | Cnp | Pause _ -> p.kind <- Nack { epsn });
-    reuse_control p ~conn ~sport ~size:Headers.ack_bytes ~birth
+    reuse_control p ~conn ~conn_id ~sport ~size:Headers.ack_bytes ~birth
   end
   else begin
     incr fresh;
+    ignore conn_id;
     Packet.nack ~conn ~sport ~epsn ~birth
   end
 
-let cnp ~conn ~sport ~birth =
+let cnp ~conn ~conn_id ~sport ~birth =
   if free_ctrl.len > 0 then begin
     incr reused;
     let p = pop free_ctrl in
     p.kind <- Cnp;
-    reuse_control p ~conn ~sport ~size:Headers.cnp_bytes ~birth
+    reuse_control p ~conn ~conn_id ~sport ~size:Headers.cnp_bytes ~birth
   end
   else begin
     incr fresh;
+    ignore conn_id;
     Packet.cnp ~conn ~sport ~birth
   end
 

@@ -28,6 +28,7 @@
 
 val data :
   conn:Flow_id.t ->
+  ?conn_id:int ->
   sport:int ->
   psn:Psn.t ->
   payload:int ->
@@ -38,12 +39,18 @@ val data :
   Packet.t
 
 val ack :
-  conn:Flow_id.t -> sport:int -> psn:Psn.t -> birth:Sim_time.t -> Packet.t
+  conn:Flow_id.t -> conn_id:int -> sport:int -> psn:Psn.t ->
+  birth:Sim_time.t -> Packet.t
+(** Control constructors take the interned [conn_id] explicitly: they
+    are only called from hot paths that have it cached, and making it
+    required keeps the per-packet hash out by construction. *)
 
 val nack :
-  conn:Flow_id.t -> sport:int -> epsn:Psn.t -> birth:Sim_time.t -> Packet.t
+  conn:Flow_id.t -> conn_id:int -> sport:int -> epsn:Psn.t ->
+  birth:Sim_time.t -> Packet.t
 
-val cnp : conn:Flow_id.t -> sport:int -> birth:Sim_time.t -> Packet.t
+val cnp :
+  conn:Flow_id.t -> conn_id:int -> sport:int -> birth:Sim_time.t -> Packet.t
 
 val release : Packet.t -> unit
 (** Return a dead packet to its freelist.  Releasing twice without an

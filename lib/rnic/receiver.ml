@@ -11,7 +11,15 @@ type t = {
   ack_coalesce : int;
   actions : actions;
   mutable epsn : int;
-  ooo : (int, int) Hashtbl.t;  (* seq -> payload, received above ePSN *)
+  (* Out-of-order buffer as a power-of-two ring keyed [seq land mask]:
+     live sequences span at most the sender window, so the ring stays
+     collision-free at a fraction of that size and membership / insert /
+     drain are single array reads where the hashtable this replaces
+     hashed per packet.  [ooo_seq.(slot) = -1] marks an empty slot; the
+     payload lives in the parallel array (payloads may be 0). *)
+  mutable ooo_seq : int array;
+  mutable ooo_payload : int array;
+  mutable ooo_count : int;
   mutable nacked_current : bool;  (* a NACK was already sent for this ePSN *)
   mutable pending_advance : int;  (* in-order advances not yet ACKed *)
   mutable delivered_bytes : int;
@@ -28,7 +36,9 @@ let create ~mode ~ack_coalesce ~actions =
     ack_coalesce;
     actions;
     epsn = 0;
-    ooo = Hashtbl.create 64;
+    ooo_seq = Array.make 64 (-1);
+    ooo_payload = Array.make 64 0;
+    ooo_count = 0;
     nacked_current = false;
     pending_advance = 0;
     delivered_bytes = 0;
@@ -37,6 +47,45 @@ let create ~mode ~ack_coalesce ~actions =
     nacks_sent = 0;
     acks_sent = 0;
   }
+
+let ooo_mem t seq =
+  let mask = Array.length t.ooo_seq - 1 in
+  Array.unsafe_get t.ooo_seq (seq land mask) = seq
+
+(* A slot occupied by a different live sequence means the live window
+   outgrew the ring: double (rehoming every entry) until it fits. *)
+let rec ooo_add t seq payload =
+  let mask = Array.length t.ooo_seq - 1 in
+  let slot = seq land mask in
+  if t.ooo_seq.(slot) = -1 then begin
+    t.ooo_seq.(slot) <- seq;
+    t.ooo_payload.(slot) <- payload;
+    t.ooo_count <- t.ooo_count + 1
+  end
+  else begin
+    ooo_grow t;
+    ooo_add t seq payload
+  end
+
+and ooo_grow t =
+  let old_seq = t.ooo_seq and old_payload = t.ooo_payload in
+  t.ooo_seq <- Array.make (2 * Array.length old_seq) (-1);
+  t.ooo_payload <- Array.make (2 * Array.length old_payload) 0;
+  t.ooo_count <- 0;
+  Array.iteri
+    (fun i seq -> if seq >= 0 then ooo_add t seq old_payload.(i))
+    old_seq
+
+(* Clear-and-return for the drain at [t.epsn]; [None] when absent. *)
+let ooo_take t seq =
+  let mask = Array.length t.ooo_seq - 1 in
+  let slot = seq land mask in
+  if t.ooo_seq.(slot) = seq then begin
+    t.ooo_seq.(slot) <- -1;
+    t.ooo_count <- t.ooo_count - 1;
+    true
+  end
+  else false
 
 let flush_ack t =
   t.pending_advance <- 0;
@@ -65,13 +114,11 @@ let advance t =
   t.pending_advance <- t.pending_advance + 1;
   t.nacked_current <- false;
   let rec drain () =
-    match Hashtbl.find_opt t.ooo t.epsn with
-    | Some _payload ->
-        Hashtbl.remove t.ooo t.epsn;
-        t.epsn <- t.epsn + 1;
-        t.pending_advance <- t.pending_advance + 1;
-        drain ()
-    | None -> ()
+    if ooo_take t t.epsn then begin
+      t.epsn <- t.epsn + 1;
+      t.pending_advance <- t.pending_advance + 1;
+      drain ()
+    end
   in
   drain ()
 
@@ -97,16 +144,16 @@ let on_data t ~seq ~payload ~last_of_msg =
         t.ooo_dropped <- t.ooo_dropped + 1;
         send_nack_once t
     | Sr ->
-        if Hashtbl.mem t.ooo seq then t.dups <- t.dups + 1
+        if ooo_mem t seq then t.dups <- t.dups + 1
         else begin
-          Hashtbl.add t.ooo seq payload;
+          ooo_add t seq payload;
           deliver t payload
         end;
         send_nack_once t
     | Ideal ->
-        if Hashtbl.mem t.ooo seq then t.dups <- t.dups + 1
+        if ooo_mem t seq then t.dups <- t.dups + 1
         else begin
-          Hashtbl.add t.ooo seq payload;
+          ooo_add t seq payload;
           deliver t payload
         end
   end
@@ -117,4 +164,4 @@ let duplicate_packets t = t.dups
 let ooo_dropped t = t.ooo_dropped
 let nacks_sent t = t.nacks_sent
 let acks_sent t = t.acks_sent
-let ooo_buffered t = Hashtbl.length t.ooo
+let ooo_buffered t = t.ooo_count

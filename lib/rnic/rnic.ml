@@ -26,6 +26,7 @@ let default_config ~line_rate =
 type rctx = {
   recv : Receiver.t;
   r_conn : Flow_id.t;
+  r_conn_id : int;
   r_sport : int;
   mutable last_cnp : Sim_time.t;
   mutable cnps_tx : int;
@@ -36,8 +37,13 @@ type t = {
   node : int;
   cfg : config;
   mutable port : Port.t option;
+  (* Hashed maps for registration and aggregate folds; per-packet
+     dispatch goes through the dense by-id arrays below, indexed by
+     [Packet.conn_id] (one array read instead of a flow hash). *)
   senders : Sender.t Flow_id.Table.t;
   receivers : rctx Flow_id.Table.t;
+  mutable senders_by_id : Sender.t option array;
+  mutable receivers_by_id : rctx option array;
   mutable next_qpn : int;
   mutable on_data_tx : Packet.t -> unit;
   mutable nacks_sent : int;
@@ -55,12 +61,25 @@ let create ~engine ~node ~config =
     port = None;
     senders = Flow_id.Table.create 16;
     receivers = Flow_id.Table.create 16;
+    senders_by_id = [||];
+    receivers_by_id = [||];
     next_qpn = 1;
     on_data_tx = ignore;
     nacks_sent = 0;
     cnps_sent = 0;
     data_rx = 0;
   }
+
+(* Slot arrays sized to the largest registered id; ids are dense per
+   run, so this is bounded by the number of live flows. *)
+let grow_slots arr id =
+  let len = Array.length arr in
+  if id < len then arr
+  else begin
+    let narr = Array.make (Stdlib.max (id + 1) (Stdlib.max 16 (2 * len))) None in
+    Array.blit arr 0 narr 0 len;
+    narr
+  end
 
 let set_port t port = t.port <- Some port
 let node t = t.node
@@ -86,6 +105,7 @@ let receiver_mode = function
   | `Ideal -> Receiver.Ideal
 
 let register_receiver t ~conn ~sport =
+  let conn_id = Flow_id.intern conn in
   let ctx =
     {
         recv =
@@ -97,23 +117,26 @@ let register_receiver t ~conn ~sport =
                 Receiver.send_ack =
                   (fun ~epsn ->
                     transmit_control t
-                      (Packet_pool.ack ~conn ~sport ~psn:(Psn.of_int epsn)
-                         ~birth:(Engine.now t.engine)));
+                      (Packet_pool.ack ~conn ~conn_id ~psn:(Psn.of_int epsn)
+                         ~sport ~birth:(Engine.now t.engine)));
                 Receiver.send_nack =
                   (fun ~epsn ->
                     t.nacks_sent <- t.nacks_sent + 1;
                     transmit_control t
-                      (Packet_pool.nack ~conn ~sport ~epsn:(Psn.of_int epsn)
-                         ~birth:(Engine.now t.engine)));
+                      (Packet_pool.nack ~conn ~conn_id ~epsn:(Psn.of_int epsn)
+                         ~sport ~birth:(Engine.now t.engine)));
                 Receiver.deliver = (fun ~bytes:_ -> ());
               };
       r_conn = conn;
+      r_conn_id = conn_id;
       r_sport = sport;
       last_cnp = Sim_time.ns (-1_000_000_000);
       cnps_tx = 0;
     }
   in
   Flow_id.Table.replace t.receivers conn ctx;
+  t.receivers_by_id <- grow_slots t.receivers_by_id conn_id;
+  t.receivers_by_id.(conn_id) <- Some ctx;
   ctx
 
 let maybe_cnp t (ctx : rctx) =
@@ -124,29 +147,39 @@ let maybe_cnp t (ctx : rctx) =
     t.cnps_sent <- t.cnps_sent + 1;
     if Telemetry.enabled () then Telemetry.incr_counter "cnps_sent";
     transmit_control t
-      (Packet_pool.cnp ~conn:ctx.r_conn ~sport:ctx.r_sport ~birth:now)
+      (Packet_pool.cnp ~conn:ctx.r_conn ~conn_id:ctx.r_conn_id
+         ~sport:ctx.r_sport ~birth:now)
   end
 
-(* Hashtbl.find over find_opt: the miss path is exceptional (wiring bug
-   or a late packet for a torn-down QP) and the hit path must not
-   allocate an option per received packet. *)
+(* QP dispatch by interned id: one array read per delivered packet; the
+   miss paths (unknown QP: wiring bug, or a late packet for a torn-down
+   QP) fall off the array or hit an empty slot. *)
+let unknown_qp t (pkt : Packet.t) =
+  (* Unknown QP: a real NIC would answer with an error; in the
+     simulator this indicates a wiring bug. *)
+  failwith
+    (Format.asprintf "Rnic %d: data for unknown QP %a" t.node Flow_id.pp
+       pkt.Packet.conn)
+
 let on_data_packet t (pkt : Packet.t) psn payload last_of_msg =
-  match Flow_id.Table.find t.receivers pkt.Packet.conn with
-  | exception Not_found ->
-      (* Unknown QP: a real NIC would answer with an error; in the
-         simulator this indicates a wiring bug. *)
-      failwith
-        (Format.asprintf "Rnic %d: data for unknown QP %a" t.node Flow_id.pp
-           pkt.Packet.conn)
-  | ctx ->
-      if pkt.Packet.ecn = Headers.Ce then maybe_cnp t ctx;
-      let seq = Psn.unwrap ~near:(Receiver.epsn ctx.recv) psn in
-      Receiver.on_data ctx.recv ~seq ~payload ~last_of_msg
+  let id = pkt.Packet.conn_id in
+  let ctx =
+    if id < Array.length t.receivers_by_id then
+      match Array.unsafe_get t.receivers_by_id id with
+      | Some ctx -> ctx
+      | None -> unknown_qp t pkt
+    else unknown_qp t pkt
+  in
+  if pkt.Packet.ecn = Headers.Ce then maybe_cnp t ctx;
+  let seq = Psn.unwrap ~near:(Receiver.epsn ctx.recv) psn in
+  Receiver.on_data ctx.recv ~seq ~payload ~last_of_msg
 
 let on_sender_packet t (pkt : Packet.t) f =
-  match Flow_id.Table.find t.senders pkt.Packet.conn with
-  | exception Not_found -> ()
-  | snd -> f snd
+  let id = pkt.Packet.conn_id in
+  if id < Array.length t.senders_by_id then
+    match Array.unsafe_get t.senders_by_id id with
+    | Some snd -> f snd
+    | None -> ()
 
 (* The RNIC is the end of a delivered packet's life: every field needed
    is read during dispatch, and no component downstream retains the
@@ -206,6 +239,9 @@ let connect t ~dst ?qpn ?sport () =
       ~transmit:(fun pkt -> transmit_data t pkt)
   in
   Flow_id.Table.replace t.senders conn snd;
+  let conn_id = Flow_id.intern conn in
+  t.senders_by_id <- grow_slots t.senders_by_id conn_id;
+  t.senders_by_id.(conn_id) <- Some snd;
   ignore (register_receiver dst ~conn ~sport);
   { nic = t; snd }
 

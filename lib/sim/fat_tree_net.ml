@@ -131,9 +131,10 @@ let build (params : params) =
         let themis_d =
           Themis_d.create ~paths:n_paths ~queue_capacity
             ~compensation:params.compensation
-            ~inject_nack:(fun ~conn ~sport ~epsn ->
+            ~inject_nack:(fun ~conn ~conn_id ~sport ~epsn ->
               Switch.inject sw
-                (Packet_pool.nack ~conn ~sport ~epsn ~birth:(Engine.now engine)))
+                (Packet_pool.nack ~conn ~conn_id ~sport ~epsn
+                   ~birth:(Engine.now engine)))
             ()
         in
         t.themis_ss <- themis_s :: t.themis_ss;
@@ -141,10 +142,16 @@ let build (params : params) =
         Switch.set_themis sw ~s:(Some themis_s) ~d:(Some themis_d))
       ft.Fat_tree.edges
   end;
-  (* Wiring. *)
-  let deliver_to node pkt =
-    if Topology.is_host topo node then Rnic.receive nics.(node) pkt
-    else Switch.receive (Hashtbl.find switches node) pkt
+  (* Wiring.  Delivery targets resolve once per port, not per packet. *)
+  let deliver_to node =
+    if Topology.is_host topo node then begin
+      let nic = nics.(node) in
+      fun pkt -> Rnic.receive nic pkt
+    end
+    else begin
+      let sw = Hashtbl.find switches node in
+      fun pkt -> Switch.receive sw pkt
+    end
   in
   for link_id = 0 to Topology.link_count topo - 1 do
     let link = Topology.link topo link_id in

@@ -164,9 +164,10 @@ let build (params : params) =
           let themis_d =
             Themis_d.create ~paths ~queue_capacity ~compensation ~node:leaf
               ~clock:(fun () -> Engine.now engine)
-              ~inject_nack:(fun ~conn ~sport ~epsn ->
+              ~inject_nack:(fun ~conn ~conn_id ~sport ~epsn ->
                 let pkt =
-                  Packet_pool.nack ~conn ~sport ~epsn ~birth:(Engine.now engine)
+                  Packet_pool.nack ~conn ~conn_id ~sport ~epsn
+                    ~birth:(Engine.now engine)
                 in
                 Switch.inject sw pkt)
               ()
@@ -177,10 +178,18 @@ let build (params : params) =
         fabric.Leaf_spine.leaves;
       t.themis_active <- true
   | Ecmp | Adaptive | Random_spray | Psn_spray_only -> ());
-  (* Wiring: one Port per link direction. *)
-  let deliver_to node pkt =
-    if Topology.is_host topo node then Rnic.receive nics.(node) pkt
-    else Switch.receive (Hashtbl.find switches node) pkt
+  (* Wiring: one Port per link direction.  The delivery target is
+     resolved here, once per port, so per-packet delivery is a direct
+     call instead of a hashtable lookup per hop. *)
+  let deliver_to node =
+    if Topology.is_host topo node then begin
+      let nic = nics.(node) in
+      fun pkt -> Rnic.receive nic pkt
+    end
+    else begin
+      let sw = Hashtbl.find switches node in
+      fun pkt -> Switch.receive sw pkt
+    end
   in
   let inbound_ports = Hashtbl.create 64 in
   (* switch node -> ports transmitting towards it (for PFC) *)

@@ -18,18 +18,33 @@ let of_string = function
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 
 let ecmp_index_at ~shift ~(pkt : Packet.t) ~n =
+  (* Data and control packets of one connection share a [conn_id] but
+     flow in opposite directions (reversed src/dst), so they get distinct
+     memo slots; the even slot matches [Spray.base_for_flow_id]. *)
+  let slot =
+    (pkt.Packet.conn_id lsl 1)
+    lor (match pkt.Packet.kind with Packet.Data _ -> 0 | _ -> 1)
+  in
   let h =
-    Ecmp_hash.flow_hash ~src:pkt.Packet.src_node ~dst:pkt.Packet.dst_node
-      ~sport:pkt.Packet.udp_sport ~dport:Headers.roce_dst_port
+    Ecmp_hash.flow_hash_id ~id:slot ~src:pkt.Packet.src_node
+      ~dst:pkt.Packet.dst_node ~sport:pkt.Packet.udp_sport
+      ~dport:Headers.roce_dst_port
   in
   Ecmp_hash.path_of_hash_at ~shift ~hash:h ~paths:n
 
 let ecmp_index ~pkt ~n = ecmp_index_at ~shift:0 ~pkt ~n
 
+(* Scratch for [least_loaded]'s second pass, so each candidate's load is
+   probed exactly once per choice; grown to the widest radix seen. *)
+let ll_scratch = ref (Array.make 16 0)
+
 let least_loaded rng ~n ~load =
+  if n > Array.length !ll_scratch then ll_scratch := Array.make n 0;
+  let loads = !ll_scratch in
   let best = ref max_int and count = ref 0 in
   for i = 0 to n - 1 do
     let l = load i in
+    Array.unsafe_set loads i l;
     if l < !best then begin
       best := l;
       count := 1
@@ -40,7 +55,7 @@ let least_loaded rng ~n ~load =
   let pick = Rng.int rng !count in
   let idx = ref 0 and seen = ref 0 and result = ref 0 in
   while !idx < n do
-    if load !idx = !best then begin
+    if Array.unsafe_get loads !idx = !best then begin
       if !seen = pick then begin
         result := !idx;
         idx := n
@@ -67,8 +82,8 @@ let choose_at ~shift t ~rng ~(pkt : Packet.t) ~n ~load =
     | Adaptive, Packet.Data _ -> least_loaded rng ~n ~load
     | Psn_spray, Packet.Data { psn; _ } ->
         let base =
-          Spray.base_for_flow pkt.Packet.conn ~sport:pkt.Packet.udp_sport
-            ~paths:n
+          Spray.base_for_flow_id ~id:pkt.Packet.conn_id pkt.Packet.conn
+            ~sport:pkt.Packet.udp_sport ~paths:n
         in
         Spray.path_for_psn ~psn ~base ~paths:n
 

@@ -30,7 +30,20 @@ type t = {
   rng : Rng.t;
   pool : Buffer_pool.t;
   ports : (int, Port.t * int) Hashtbl.t;  (* link_id -> (port, peer) *)
-  mutable local_hosts : int list;
+  local_hosts : Bytes.t;  (* node id -> '\001' when an attached host *)
+  (* Compiled forwarding fast path: per destination node, the candidate
+     egress ports in [Routing.next_hops] order, resolved from link ids
+     once (on first use after attach/recompute) so the steady-state
+     [forward] indexes arrays with zero hashing.  [fwd_gen] is the
+     routing generation the rows were compiled against; a mismatch
+     wipes them (link failure / restore). *)
+  next_ports : Port.t array option array;
+  mutable fwd_gen : int;
+  (* Reusable load closure for load-aware policies: [load_ports] is set
+     to the current candidate row just before [Lb_policy.choose_at], so
+     no closure is allocated per packet. *)
+  mutable load_ports : Port.t array;
+  mutable load_fn : int -> int;
   mutable themis_s : Themis_s.t option;
   mutable themis_d : Themis_d.t option;
   mutable upstream : Port.t list;
@@ -55,6 +68,13 @@ type t = {
 
 let node_id t = t.node
 let config t = t.cfg
+
+(* Diagnostic: hashtable probes taken by the forwarding slow path (the
+   per-destination compile after create / attach / recompute).  The
+   steady-state fast path contains no probe — and so no counting code —
+   at all; bench/engine_bench.ml asserts this stays flat once warm. *)
+let slow_path_probes = ref 0
+let forward_hash_probes () = !slow_path_probes
 
 let resolve_drop_counter t m =
   let c = Metrics.counter m ~labels:t.drop_labels "switch_dropped_packets" in
@@ -102,8 +122,10 @@ let rec pfc_update t =
 
 and attach_port t ~link_id ~peer port =
   Hashtbl.replace t.ports link_id (port, peer);
+  (* New wiring invalidates any rows compiled before this port existed. *)
+  Array.fill t.next_ports 0 (Array.length t.next_ports) None;
   let peer_is_host = Topology.is_host t.topo peer in
-  if peer_is_host then t.local_hosts <- peer :: t.local_hosts;
+  if peer_is_host then Bytes.set t.local_hosts peer '\001';
   (* Release shared-buffer bytes as packets leave the queue; on the last
      hop towards a locally attached receiver this is also the moment the
      packet "leaves the ToR", when Themis-D records its PSN (and may emit
@@ -138,13 +160,51 @@ let port_to t ~peer =
       | Some (port, _) -> Some port
       | None -> None)
 
-let is_local_host t node = List.mem node t.local_hosts
+let is_local_host t node =
+  node >= 0
+  && node < Bytes.length t.local_hosts
+  && Bytes.unsafe_get t.local_hosts node <> '\000'
 
-(* Candidate next hops towards the packet's destination, as an array of
-   (peer, link_id) sorted by peer id — a stable path indexing shared with
-   the PSN-spraying policy. *)
-let candidates t (pkt : Packet.t) =
-  Routing.next_hops t.routing ~node:t.node ~dst:pkt.Packet.dst_node
+(* Candidate next hops towards [dst] as an array of ports, in
+   [Routing.next_hops] order ((peer, link_id) sorted by peer id — the
+   stable path indexing shared with the PSN-spraying policy).  Cold
+   path: resolve each link id to its port handle once; every later
+   forward to [dst] indexes the compiled row directly. *)
+let compile_ports t dst =
+  let cands = Routing.next_hops t.routing ~node:t.node ~dst in
+  let ports =
+    Array.map
+      (fun (_, link_id) ->
+        incr slow_path_probes;
+        match Hashtbl.find_opt t.ports link_id with
+        | Some (port, _) -> port
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Switch %d: no port attached for link %d (wiring bug)" t.node
+                 link_id))
+      cands
+  in
+  t.next_ports.(dst) <- Some ports;
+  ports
+
+let candidate_ports t dst =
+  let gen = Routing.generation t.routing in
+  if gen <> t.fwd_gen then begin
+    Array.fill t.next_ports 0 (Array.length t.next_ports) None;
+    t.fwd_gen <- gen
+  end;
+  if dst >= 0 && dst < Array.length t.next_ports then
+    match Array.unsafe_get t.next_ports dst with
+    | Some ports -> ports
+    | None -> compile_ports t dst
+  else
+    (* Out of range: not a host; [Routing.next_hops] raises the
+       canonical invalid_arg without touching [next_ports]. *)
+    Array.map (fun _ -> assert false)
+      (Routing.next_hops t.routing ~node:t.node ~dst)
+
+let compiled_next_ports t ~dst = candidate_ports t dst
 
 let enqueue_on t port (pkt : Packet.t) =
   if
@@ -185,8 +245,8 @@ let enqueue_on t port (pkt : Packet.t) =
   end
 
 let forward t (pkt : Packet.t) =
-  let cands = candidates t pkt in
-  let n = Array.length cands in
+  let ports = candidate_ports t pkt.Packet.dst_node in
+  let n = Array.length ports in
   if n = 0 then begin
     t.dropped_unreachable <- t.dropped_unreachable + 1;
     record_drop t pkt Event.Unreachable;
@@ -214,20 +274,11 @@ let forward t (pkt : Packet.t) =
         match themis_choice with
         | Some i -> i
         | None ->
+            t.load_ports <- ports;
             Lb_policy.choose_at ~shift:t.cfg.ecmp_shift t.cfg.lb ~rng:t.rng
-              ~pkt ~n ~load:(fun i ->
-                let _, link_id = (fst cands.(i), snd cands.(i)) in
-                match Hashtbl.find_opt t.ports link_id with
-                | Some (port, _) -> Port.queue_bytes port
-                | None -> max_int)
+              ~pkt ~n ~load:t.load_fn
     in
-    let _, link_id = cands.(idx) in
-    match Hashtbl.find_opt t.ports link_id with
-    | None ->
-        t.dropped_unreachable <- t.dropped_unreachable + 1;
-        record_drop t pkt Event.Unreachable;
-        Packet_pool.release pkt
-    | Some (port, _) -> enqueue_on t port pkt
+    enqueue_on t ports.(idx) pkt
   end
 
 let process t (pkt : Packet.t) =
@@ -266,7 +317,11 @@ let create ~engine ~topo ~routing ~node ~config ~rng =
       Buffer_pool.create ~capacity:config.buffer_capacity
         ~per_port_cap:config.per_port_cap;
     ports = Hashtbl.create 8;
-    local_hosts = [];
+    local_hosts = Bytes.make (Topology.node_count topo) '\000';
+    next_ports = Array.make (Topology.node_count topo) None;
+    fwd_gen = Routing.generation routing;
+    load_ports = [||];
+    load_fn = (fun _ -> 0);
     themis_s = None;
     themis_d = None;
     upstream = [];
@@ -286,6 +341,7 @@ let create ~engine ~topo ~routing ~node ~config ~rng =
     drop_counter = None;
   }
   in
+  t.load_fn <- (fun i -> Port.queue_bytes t.load_ports.(i));
   t.cb_process <-
     Engine.register_callback engine (fun _ _ obj -> process t (Obj.obj obj));
   t.cb_forward <-

@@ -50,7 +50,10 @@ val node_id : t -> int
 val config : t -> config
 
 val attach_port : t -> link_id:int -> peer:int -> Port.t -> unit
-(** Register the egress port for one attached link (wiring phase). *)
+(** Register the egress port for one attached link (wiring phase).
+    Every link id a routing candidate can name must be attached: the
+    forwarding compiler treats a missing port as a wiring bug and
+    raises [Invalid_argument] instead of silently dropping packets. *)
 
 val set_themis : t -> s:Themis_s.t option -> d:Themis_d.t option -> unit
 val themis_d : t -> Themis_d.t option
@@ -89,3 +92,18 @@ val dropped_data_packets : t -> int
 val ecn_marked : t -> int
 val nacks_intercept_blocked : t -> int
 val buffer_pool : t -> Buffer_pool.t
+
+(** {2 Compiled-forwarding diagnostics (DESIGN.md §11)} *)
+
+val forward_hash_probes : unit -> int
+(** Global count of hashtable probes taken by the forwarding slow path
+    (per-destination compiles after create / attach / recompute).  The
+    steady-state forward carries no probes — and no counting code — so
+    this stays flat once caches are warm; the [fwd] benchmark asserts
+    it. *)
+
+val compiled_next_ports : t -> dst:int -> Port.t array
+(** The dense candidate-port row for [dst], compiling it first if
+    stale or absent — in [Routing.next_hops] order.  Exposed for the
+    route-cache invalidation tests; raises like {!Routing.next_hops}
+    on a non-host [dst]. *)

@@ -344,6 +344,29 @@ let test_pool_byte_identity () =
         (Option.get (Campaign_store.raw_bytes forked b)))
     hs hf
 
+(* Interning determinism at the job boundary: Campaign_runner's fresh
+   context resets the flow-id interner, so the id assignment after a job
+   is a pure function of the job — unaffected by whatever was interned
+   before it (earlier jobs in the same worker, or nothing at all in a
+   freshly forked one).  This is the in-process half of the guarantee
+   the serial-vs-forked byte-identity test observes externally. *)
+let test_intern_reset_at_job_boundary () =
+  let j = List.hd mini_jobs in
+  let store1 = Campaign_store.open_ ~dir:(fresh_dir "intern1") in
+  let sum1 = Campaign_pool.run ~workers:1 ~store:store1 [ j ] in
+  check_bool "first run clean" true (Campaign_pool.ok sum1);
+  let snap1 = Flow_id.intern_snapshot () in
+  check_bool "job interned some flows" true (snap1 <> []);
+  (* Pollute the interner: a missing per-job reset would leave this flow
+     occupying id 0..n and shift the rerun's assignment. *)
+  ignore (Flow_id.intern (Flow_id.make ~src:9999 ~dst:9998 ~qpn:77));
+  let store2 = Campaign_store.open_ ~dir:(fresh_dir "intern2") in
+  let sum2 = Campaign_pool.run ~workers:1 ~store:store2 [ j ] in
+  check_bool "second run clean" true (Campaign_pool.ok sum2);
+  let snap2 = Flow_id.intern_snapshot () in
+  check_bool "id assignment identical across jobs" true (snap1 = snap2);
+  List.iteri (fun i (id, _) -> check_int "dense id" i id) snap2
+
 let test_pool_warm_rerun () =
   let _, forked, _, _ = Lazy.force mini in
   let again = Campaign_pool.run ~workers:2 ~store:forked mini_jobs in
@@ -469,6 +492,8 @@ let () =
           Alcotest.test_case "warm rerun: 100% cached" `Quick
             test_pool_warm_rerun;
           Alcotest.test_case "hash dedupe" `Quick test_pool_dedupe;
+          Alcotest.test_case "intern reset at job boundary" `Quick
+            test_intern_reset_at_job_boundary;
           Alcotest.test_case "crash capture (serial)" `Quick
             (crash_capture ~workers:1);
           Alcotest.test_case "crash capture (forked)" `Quick

@@ -52,6 +52,15 @@ let corpus =
        corr=0;dup=1283;dly=0:5046;fmode=ecmp;dl=2000000000;\
        schemes=ecmp+spray+ar+themis;flows=10>6:3919@79278,5>10:5165@40489,\
        14>11:27071@98258,14>8:2293@29640,3>13:14596@8427;faults=" );
+    (* A spine link dies mid-flow (permanently) with Themis enabled:
+       the source ToR's compiled forwarding tables must be rebuilt
+       around the failure while flows are in flight, and Themis-S must
+       shrink its spray set without violating any delivery oracle. *)
+    ( "themis link-down mid-flow, compiled-table rebuild",
+      "fz1;seed=11;shape=ls:2:4:2:100:100:1000;tr=sr;qf=100;ppcap=9216;\
+       jit=0;drop=0;corr=0;dup=0;dly=0:0;fmode=shrink;dl=2000000000;\
+       schemes=ecmp+spray+ar+themis;flows=0>2:200000@5000,2>1:150000@9000,\
+       3>0:180000@7000;faults=8:12000:0" );
     (* Duplicates + corruption + drops on a single-path fabric with GBN:
        exercises the receiver's duplicate/ooo handling when every
        duplicate is in-order-plausible. *)

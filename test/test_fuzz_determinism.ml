@@ -62,6 +62,29 @@ let test_harness_det_check () =
         | v :: _ -> v.Fuzz_oracle.detail
         | [] -> "?")
 
+(* Flow-id interning is global run state: Fuzz_run must reset it at the
+   run boundary so id assignment is a pure function of the spec.  A
+   foreign flow interned between two runs must leave no trace — same
+   dense ids, same snapshot, same output bytes. *)
+let test_intern_reset_at_run_boundary () =
+  let spec = Fuzz_spec.generate ~seed:3 () in
+  let scheme = List.hd spec.Fuzz_spec.schemes in
+  let a = Fuzz_run.run_scheme spec ~scheme in
+  let snap_a = Flow_id.intern_snapshot () in
+  Alcotest.(check bool) "run interned some flows" true (snap_a <> []);
+  (* Pollute the interner; a missing reset would shift or append ids. *)
+  ignore (Flow_id.intern (Flow_id.make ~src:9999 ~dst:9998 ~qpn:77));
+  let b = Fuzz_run.run_scheme spec ~scheme in
+  let snap_b = Flow_id.intern_snapshot () in
+  Alcotest.(check bool) "id assignment identical across runs" true
+    (snap_a = snap_b);
+  Alcotest.(check string) "output bytes identical" a.Fuzz_run.o_events_jsonl
+    b.Fuzz_run.o_events_jsonl;
+  (* Ids are dense from zero. *)
+  List.iteri
+    (fun i (id, _) -> Alcotest.(check int) "dense id" i id)
+    snap_b
+
 let () =
   Alcotest.run "fuzz_determinism"
     [
@@ -75,5 +98,10 @@ let () =
             (test_with is_ft ~name:"fat-tree");
           Alcotest.test_case "harness double-run check" `Quick
             test_harness_det_check;
+        ] );
+      ( "interning",
+        [
+          Alcotest.test_case "reset at run boundary" `Quick
+            test_intern_reset_at_run_boundary;
         ] );
     ]

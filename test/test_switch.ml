@@ -187,7 +187,7 @@ let themis_pair h ~compensation =
   let s = Themis_s.create ~paths ~mode:Themis_s.Direct_egress in
   let d =
     Themis_d.create ~paths ~queue_capacity:64 ~compensation
-      ~inject_nack:(fun ~conn ~sport ~epsn ->
+      ~inject_nack:(fun ~conn ~conn_id:_ ~sport ~epsn ->
         injected := Psn.to_int epsn :: !injected;
         Switch.inject (tor1 h)
           (Packet.nack ~conn ~sport ~epsn ~birth:(Engine.now h.engine)))
@@ -282,6 +282,49 @@ let test_pfc_pauses_upstream () =
   Alcotest.(check int) "eventually delivered" 10 (List.length (host_rx h 2));
   Alcotest.(check int) "pool drained" 0 (Buffer_pool.used (Switch.buffer_pool (tor0 h)))
 
+(* Property: after any sequence of link failures and restorations (the
+   mechanism behind Network.fail_link/restore_link: flip the link, then
+   Routing.recompute), every switch's compiled per-destination port
+   arrays must agree hop-for-hop with a routing table computed from
+   scratch on the same topology.  Ports are matched by label, which the
+   harness makes unique per (switch, peer) direction. *)
+let prop_compiled_tables_track_failures =
+  QCheck.Test.make ~name:"compiled tables track fail/restore" ~count:25
+    QCheck.(list_of_size Gen.(int_range 1 12) (pair small_nat bool))
+    (fun ops ->
+      let h = build () in
+      let topo = h.ls.Leaf_spine.topo in
+      let ok = ref true in
+      let check_all () =
+        let fresh = Routing.compute topo in
+        Hashtbl.iter
+          (fun node sw ->
+            Array.iter
+              (fun dst ->
+                let want = Routing.next_hops fresh ~node ~dst in
+                let got = Switch.compiled_next_ports sw ~dst in
+                if Array.length got <> Array.length want then ok := false
+                else
+                  Array.iteri
+                    (fun i (peer, _link) ->
+                      if Port.label got.(i) <> Printf.sprintf "%d->%d" node peer
+                      then ok := false)
+                    want)
+              (Topology.hosts topo))
+          h.switches
+      in
+      (* Compile every table once so the op loop exercises invalidation
+         of populated caches, not just first-touch compilation. *)
+      check_all ();
+      List.iter
+        (fun (pick, down) ->
+          let link_id = pick mod Topology.link_count topo in
+          Topology.set_link_up topo ~link_id (not down);
+          Routing.recompute h.routing;
+          check_all ())
+        ops;
+      !ok)
+
 let () =
   Alcotest.run "switch"
     [
@@ -308,4 +351,6 @@ let () =
           Alcotest.test_case "compensation" `Quick test_themis_compensation_injection;
           Alcotest.test_case "lb fallback" `Quick test_set_lb_fallback;
         ] );
+      ( "compiled tables",
+        [ QCheck_alcotest.to_alcotest prop_compiled_tables_track_failures ] );
     ]

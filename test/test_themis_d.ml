@@ -13,7 +13,7 @@ let make ?(paths = 2) ?(capacity = 16) ?(compensation = true) () =
   let injected = ref [] in
   let d =
     Themis_d.create ~paths ~queue_capacity:capacity ~compensation
-      ~inject_nack:(fun ~conn:_ ~sport:_ ~epsn ->
+      ~inject_nack:(fun ~conn:_ ~conn_id:_ ~sport:_ ~epsn ->
         injected := Psn.to_int epsn :: !injected)
       ()
   in
@@ -165,7 +165,7 @@ let test_invalid_create () =
     (Invalid_argument "Themis_d.create: paths must be positive") (fun () ->
       ignore
         (Themis_d.create ~paths:0 ~queue_capacity:4
-           ~inject_nack:(fun ~conn:_ ~sport:_ ~epsn:_ -> ())
+           ~inject_nack:(fun ~conn:_ ~conn_id:_ ~sport:_ ~epsn:_ -> ())
            ()))
 
 let () =
