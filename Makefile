@@ -3,7 +3,7 @@
 
 .PHONY: all build test examples micro bench-engine bench-engine-smoke \
         bench-fwd bench-fwd-smoke fuzz-quick fuzz-soak campaign-quick \
-        check clean
+        workload-smoke workload-bench check clean
 
 all: build
 
@@ -68,12 +68,25 @@ campaign-quick:
 # Regenerate every paper figure/study/fuzz campaign and refreeze the
 # committed baselines (run after an intentional model change).
 campaign-refreeze:
-	for p in quick fig1 fig5a incast ablation fuzz; do \
+	for p in quick fig1 fig5a incast ablation fuzz mix load-sweep failures; do \
 	  dune exec bin/themis_campaign_cli.exe -- run --preset $$p --workers 4 --force --quiet && \
 	  dune exec bin/themis_campaign_cli.exe -- freeze --preset $$p || exit 1; \
 	done
 
-check: build test examples micro bench-engine-smoke bench-fwd-smoke fuzz-quick campaign-quick
+# Production-workload gate (DESIGN.md §12): the mix scenario (websearch
+# open-loop + allreduce overlay) over the fork pool, gated against its
+# frozen baseline, then the streaming bench's 50k-flow smoke asserting
+# the O(active-flows) live high-water mark and full completion.
+workload-smoke:
+	dune exec bin/themis_campaign_cli.exe -- run --preset mix --workers 2 --force --quiet
+	dune exec bin/themis_campaign_cli.exe -- gate --preset mix
+	dune exec bench/workload_bench.exe -- --smoke --out _build/BENCH_workload.smoke.json
+
+# Full streaming proof: 1M Poisson arrivals; memory must stay O(active).
+workload-bench:
+	dune exec bench/workload_bench.exe -- --out BENCH_workload.json
+
+check: build test examples micro bench-engine-smoke bench-fwd-smoke fuzz-quick campaign-quick workload-smoke
 	@echo "check: OK"
 
 clean:

@@ -1,0 +1,117 @@
+(* Workload streaming benchmark: proves the open-loop flow stream is
+   O(active-flows), not O(total-flows), in memory — the property that
+   makes million-flow production traces runnable at all.
+
+   The full mode pushes 1M Poisson arrivals of small fixed-size flows
+   through the small workload fabric and reports the live-flow
+   high-water mark, QPs created (bounded by per-pair concurrency thanks
+   to pooling), arrival throughput in flows/sec of wall time, and GC
+   evidence (top heap words, minor words per flow).  `--smoke` runs 50k
+   flows and gates `make check`: it asserts every offered flow completed
+   and that the live high-water mark stayed within the O(active) bound
+   regardless of the total flow count.  Emits BENCH_workload.json in the
+   engine_bench conventions. *)
+
+let out_path = ref "BENCH_workload.json"
+let smoke = ref false
+
+(* The live-flow bound asserted in both modes.  At 80% load the expected
+   concurrency is rate x mean-FCT (= a few hundred at worst under
+   transient bursts); the total flow count is 50k or 1M, so any leak of
+   completed-flow state shows up as orders of magnitude, not percent. *)
+let hwm_bound = 4096
+
+let spec ~n_flows : Workload_spec.t =
+  {
+    Workload_spec.wseed = 21;
+    shape = Workload_spec.small_fabric;
+    dist = Flow_size.Fixed 4096;
+    arrival = Arrival.Poisson;
+    load_pct = 80;
+    n_flows;
+    colls = [];
+    failures = [];
+    deadline_ns = 10_000_000_000;
+  }
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out" :: path :: rest ->
+        out_path := path;
+        parse rest
+    | arg :: _ ->
+        prerr_endline ("usage: workload_bench [--smoke] [--out PATH]; got " ^ arg);
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let n_flows = if !smoke then 50_000 else 1_000_000 in
+  let spec = spec ~n_flows in
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let r = Workload_run.run ~scheme:"themis" spec in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let minor_words = Gc.minor_words () -. words0 in
+  let heap = Gc.stat () in
+  let flows_per_sec =
+    if wall_s > 0. then float_of_int r.Workload_run.r_completed /. wall_s else 0.
+  in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  if r.Workload_run.r_offered <> n_flows then
+    fail "workload_bench: offered %d of %d flows (deadline too short?)"
+      r.Workload_run.r_offered n_flows;
+  if r.Workload_run.r_completed <> r.Workload_run.r_offered then
+    fail "workload_bench: completed %d of %d offered flows"
+      r.Workload_run.r_completed r.Workload_run.r_offered;
+  if r.Workload_run.r_live_hwm > hwm_bound then
+    fail "workload_bench: live hwm %d blows the O(active) bound %d"
+      r.Workload_run.r_live_hwm hwm_bound;
+  let num v = Campaign_json.Num v in
+  let int v = num (float_of_int v) in
+  let doc =
+    Campaign_json.Obj
+      [
+        ("bench", Campaign_json.Str "workload");
+        ("mode", Campaign_json.Str (if !smoke then "smoke" else "full"));
+        ("flows", int n_flows);
+        ("offered", int r.Workload_run.r_offered);
+        ("completed", int r.Workload_run.r_completed);
+        ("live_hwm", int r.Workload_run.r_live_hwm);
+        ("live_hwm_bound", int hwm_bound);
+        ("qps_created", int r.Workload_run.r_qps_created);
+        ("data_packets", int r.Workload_run.r_data_packets);
+        ("sim_end_us", num r.Workload_run.r_end_us);
+        ("wall_s", num wall_s);
+        ("flows_per_sec", num flows_per_sec);
+        ("minor_words_per_flow", num (minor_words /. float_of_int n_flows));
+        ("top_heap_words", int heap.Gc.top_heap_words);
+      ]
+  in
+  let oc = open_out !out_path in
+  output_string oc (Campaign_json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  (* Re-read and validate: the smoke path is a `make check` gate, so the
+     file must be parseable JSON with the fields tooling reads. *)
+  let ic = open_in !out_path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (match Campaign_json.of_string s with
+  | Error e -> fail "workload_bench: bad JSON emitted: %s" e
+  | Ok doc ->
+      List.iter
+        (fun key ->
+          if Campaign_json.member key doc = None then
+            fail "workload_bench: missing field %S" key)
+        [ "bench"; "mode"; "flows"; "live_hwm"; "flows_per_sec" ]);
+  Printf.printf
+    "workload_bench: %d flows, hwm %d (bound %d), %d qps, %.0f flows/s wall, \
+     %.1f minor w/flow, top heap %d w\n"
+    r.Workload_run.r_completed r.Workload_run.r_live_hwm hwm_bound
+    r.Workload_run.r_qps_created flows_per_sec
+    (minor_words /. float_of_int n_flows)
+    heap.Gc.top_heap_words;
+  Printf.printf "workload_bench: wrote %s\n" !out_path

@@ -135,6 +135,39 @@ let shape_checks ~slack_pct ~lookup ~jobs =
                  th slack_pct ec)
       | _ -> ())
     incast_points;
+  (* Workload: every offered flow and every collective overlay completed
+     before the spec's deadline — a run that leaves traffic unfinished is
+     broken regardless of how the FCT numbers look. *)
+  List.iter
+    (fun j ->
+      match j with
+      | Campaign_spec.Workload_job _ -> (
+          match lookup (Campaign_spec.job_hash j) with
+          | None -> ()
+          | Some r ->
+              let m = Campaign_result.metric r in
+              (match (m "completed", m "offered") with
+              | Some c, Some o ->
+                  incr checks;
+                  if c < o then
+                    push
+                      (Campaign_spec.job_to_string j)
+                      (Printf.sprintf "%d of %d offered flows unfinished"
+                         (int_of_float (o -. c))
+                         (int_of_float o))
+              | _ -> push (Campaign_spec.job_to_string j) "no completion metrics");
+              match (m "colls_done", m "colls_total") with
+              | Some d, Some t ->
+                  incr checks;
+                  if d < t then
+                    push
+                      (Campaign_spec.job_to_string j)
+                      (Printf.sprintf "%d of %d collectives unfinished"
+                         (int_of_float (t -. d))
+                         (int_of_float t))
+              | _ -> ())
+      | _ -> ())
+    jobs;
   (* Fuzz: zero oracle violations, always. *)
   List.iter
     (fun j ->

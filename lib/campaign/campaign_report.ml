@@ -141,6 +141,25 @@ let render ppf ~(spec : Campaign_spec.t) ~lookup () =
                     (Campaign_json.float_to_string v))
                 r.Campaign_result.metrics)
         jobs
+  | Campaign_spec.Workload ->
+      let cols =
+        [
+          "completed"; "live_hwm"; "fct_p50_us"; "fct_p99_us"; "coll_tail_us";
+          "retx_packets"; "storm_drops";
+        ]
+      in
+      let rows =
+        List.filter_map
+          (fun j ->
+            match lookup (Campaign_spec.job_hash j) with
+            | None -> None
+            | Some r ->
+                Some
+                  ( Campaign_spec.job_to_string j,
+                    List.map (metric_or_nan r) cols ))
+          jobs
+      in
+      render_flat ppf "workload" cols rows
   | Campaign_spec.Fuzz_sweep ->
       let total = ref 0 and with_result = ref 0 in
       List.iter

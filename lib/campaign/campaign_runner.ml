@@ -249,6 +249,24 @@ let fuzz ~soak ~seed =
       @ per_scheme)
 
 (* ------------------------------------------------------------------ *)
+(* Workload scenarios: one Workload_spec preset with its load factor and
+   seed overridden, under one scheme.  Workload_run resets the ambient
+   global state itself (like Fuzz_run), so no with_fresh_context. *)
+
+let workload ~wname ~wscheme ~load ~wseed =
+  let spec =
+    match Workload_spec.preset wname with
+    | Some s -> s
+    | None ->
+        invalid_arg (Printf.sprintf "Campaign_runner: unknown workload %S" wname)
+  in
+  let spec = { spec with Workload_spec.load_pct = load; wseed } in
+  let r = Workload_run.run ~scheme:wscheme spec in
+  Campaign_result.make
+    ~job:(Campaign_spec.Workload_job { wname; wscheme; load; wseed })
+    ~metrics:(Workload_run.metrics r)
+
+(* ------------------------------------------------------------------ *)
 
 let run_job = function
   | Campaign_spec.Fig1_job { transport; mb; seed } ->
@@ -259,6 +277,8 @@ let run_job = function
       snd (incast ~scheme ~fanin ~mb ~seed)
   | Campaign_spec.Ablation_job { study; seed } -> ablation ~study ~seed
   | Campaign_spec.Fuzz_job { soak; seed } -> fuzz ~soak ~seed
+  | Campaign_spec.Workload_job { wname; wscheme; load; wseed } ->
+      workload ~wname ~wscheme ~load ~wseed
 
 let headline_metrics = function
   | Campaign_spec.Fig1_job _ -> [ "avg_goodput_gbps"; "avg_retx_ratio" ]
@@ -266,3 +286,4 @@ let headline_metrics = function
   | Campaign_spec.Incast_job _ -> [ "fct_p50_us"; "fct_p99_us" ]
   | Campaign_spec.Ablation_job _ -> []
   | Campaign_spec.Fuzz_job _ -> [ "failures" ]
+  | Campaign_spec.Workload_job _ -> [ "completed"; "fct_p99_us" ]

@@ -1,4 +1,4 @@
-type target = Fig1 | Fig5 | Incast | Ablation | Fuzz_sweep
+type target = Fig1 | Fig5 | Incast | Ablation | Fuzz_sweep | Workload
 
 let target_to_string = function
   | Fig1 -> "fig1"
@@ -6,6 +6,7 @@ let target_to_string = function
   | Incast -> "incast"
   | Ablation -> "ablation"
   | Fuzz_sweep -> "fuzz"
+  | Workload -> "workload"
 
 let target_of_string = function
   | "fig1" -> Ok Fig1
@@ -13,6 +14,7 @@ let target_of_string = function
   | "incast" -> Ok Incast
   | "ablation" -> Ok Ablation
   | "fuzz" -> Ok Fuzz_sweep
+  | "workload" -> Ok Workload
   | s -> Error (Printf.sprintf "unknown target %S" s)
 
 type fabric =
@@ -69,6 +71,8 @@ type t = {
   dcqcn : (int * int) list;
   fanins : int list;
   studies : string list;
+  wnames : string list;
+  loads : int list;
   profile : string;
   seeds : int list;
 }
@@ -87,6 +91,7 @@ type job =
   | Incast_job of { scheme : string; fanin : int; mb : int; seed : int }
   | Ablation_job of { study : string; seed : int }
   | Fuzz_job of { soak : bool; seed : int }
+  | Workload_job of { wname : string; wscheme : string; load : int; wseed : int }
 
 let equal = ( = )
 let equal_job = ( = )
@@ -125,6 +130,13 @@ let jobs_of t =
           List.map (fun seed -> Ablation_job { study; seed }) t.seeds)
   | Fuzz_sweep ->
       List.map (fun seed -> Fuzz_job { soak = t.profile = "soak"; seed }) t.seeds
+  | Workload ->
+      cart t.wnames (fun wname ->
+          cart t.schemes (fun wscheme ->
+              cart t.loads (fun load ->
+                  List.map
+                    (fun wseed -> Workload_job { wname; wscheme; load; wseed })
+                    t.seeds)))
 
 (* ------------------------------------------------------------------ *)
 (* Serialization: one line, exact round-trip (Fuzz_spec conventions). *)
@@ -134,7 +146,7 @@ let ints xs = join (List.map string_of_int xs)
 
 let to_string t =
   Printf.sprintf
-    "cp1;name=%s;target=%s;fab=%s;tr=%s;schemes=%s;colls=%s;mb=%s;dcqcn=%s;fanins=%s;studies=%s;profile=%s;seeds=%s"
+    "cp1;name=%s;target=%s;fab=%s;tr=%s;schemes=%s;colls=%s;mb=%s;dcqcn=%s;fanins=%s;studies=%s;wl=%s;loads=%s;profile=%s;seeds=%s"
     t.name
     (target_to_string t.target)
     (join (List.map fabric_to_string t.fabrics))
@@ -142,7 +154,8 @@ let to_string t =
     (String.concat "+" t.schemes)
     (join t.colls) (ints t.mbs)
     (join (List.map (fun (ti, td) -> Printf.sprintf "%d:%d" ti td) t.dcqcn))
-    (ints t.fanins) (join t.studies) t.profile (ints t.seeds)
+    (ints t.fanins) (join t.studies) (join t.wnames) (ints t.loads) t.profile
+    (ints t.seeds)
 
 let split_nonempty sep s =
   if String.trim s = "" then [] else String.split_on_char sep s
@@ -206,6 +219,11 @@ let of_string s =
       let* fanins = ints_of fanins_s ~what:"fanins" in
       let* studies_s = find "studies" in
       let studies = split_nonempty ',' studies_s in
+      (* wl/loads post-date the cp1 grammar; absent fields default to
+         empty so pre-workload spec lines keep parsing. *)
+      let find_default k = Option.value (List.assoc_opt k kv) ~default:"" in
+      let wnames = split_nonempty ',' (find_default "wl") in
+      let* loads = ints_of (find_default "loads") ~what:"loads" in
       let* profile = find "profile" in
       let* seeds_s = find "seeds" in
       let* seeds = ints_of seeds_s ~what:"seeds" in
@@ -223,6 +241,8 @@ let of_string s =
               dcqcn;
               fanins;
               studies;
+              wnames;
+              loads;
               profile;
               seeds;
             }
@@ -247,6 +267,9 @@ let job_to_string = function
       Printf.sprintf "cj1;fuzz;profile=%s;seed=%d"
         (if soak then "soak" else "quick")
         seed
+  | Workload_job { wname; wscheme; load; wseed } ->
+      Printf.sprintf "cj1;workload;wl=%s;scheme=%s;load=%d;seed=%d" wname
+        wscheme load wseed
 
 let job_of_string s =
   let s = String.trim s in
@@ -308,6 +331,12 @@ let job_of_string s =
             | p -> Error (Printf.sprintf "bad profile %S" p)
           in
           Ok (Fuzz_job { soak; seed })
+      | "workload" ->
+          let* wname = find "wl" in
+          let* wscheme = find "scheme" in
+          let* load = find_int "load" in
+          let* wseed = find_int "seed" in
+          Ok (Workload_job { wname; wscheme; load; wseed })
       | k -> Error (Printf.sprintf "unknown job kind %S" k))
   | _ -> Error "job must start with \"cj1;\""
 
@@ -366,6 +395,11 @@ let study_of_string s =
   if List.mem s studies_known then Ok s
   else Error (Printf.sprintf "unknown study %S" s)
 
+let wname_of_string s =
+  match Workload_spec.preset s with
+  | Some _ -> Ok s
+  | None -> Error (Printf.sprintf "unknown workload %S" s)
+
 let validate t =
   let nonempty what = function
     | [] -> Error (Printf.sprintf "%s axis is empty" what)
@@ -403,6 +437,15 @@ let validate t =
       let* () = nonempty "studies" t.studies in
       check_all "study" t.studies study_of_string
   | Fuzz_sweep -> Ok ()
+  | Workload ->
+      let* () = nonempty "wl" t.wnames in
+      let* () = nonempty "schemes" t.schemes in
+      let* () = nonempty "loads" t.loads in
+      let* () = check_all "workload" t.wnames wname_of_string in
+      let* () = check_all "scheme" t.schemes Network.scheme_of_string in
+      check_all "load" t.loads (fun l ->
+          if l > 0 && l <= 200 then Ok l
+          else Error (Printf.sprintf "load %d%% out of (0, 200]" l))
 
 (* ------------------------------------------------------------------ *)
 (* Presets. *)
@@ -419,6 +462,8 @@ let empty name target =
     dcqcn = [];
     fanins = [];
     studies = [];
+    wnames = [];
+    loads = [];
     profile = "quick";
     seeds = [];
   }
@@ -482,6 +527,32 @@ let presets =
     ( "fuzz",
       { (empty "fuzz" Fuzz_sweep) with seeds = List.init 25 (fun i -> i + 1) }
     );
+    (* Workload scenarios: seeds match Workload_spec's presets (21) so
+       CLI-emitted and campaign results share store keys. *)
+    ( "mix",
+      {
+        (empty "mix" Workload) with
+        wnames = [ "mix" ];
+        schemes = [ "ecmp"; "themis" ];
+        loads = [ 30 ];
+        seeds = [ 21 ];
+      } );
+    ( "load-sweep",
+      {
+        (empty "load-sweep" Workload) with
+        wnames = [ "sweep" ];
+        schemes = [ "themis" ];
+        loads = [ 20; 50; 80 ];
+        seeds = [ 21 ];
+      } );
+    ( "failures",
+      {
+        (empty "failures" Workload) with
+        wnames = [ "failures" ];
+        schemes = [ "ecmp"; "themis" ];
+        loads = [ 40 ];
+        seeds = [ 21 ];
+      } );
   ]
 
 let preset name = List.assoc_opt name presets

@@ -16,7 +16,7 @@
     serialization silently invalidates every store and baseline, which
     is why the test suite freezes known hashes. *)
 
-type target = Fig1 | Fig5 | Incast | Ablation | Fuzz_sweep
+type target = Fig1 | Fig5 | Incast | Ablation | Fuzz_sweep | Workload
 
 val target_to_string : target -> string
 val target_of_string : string -> (target, string) result
@@ -43,6 +43,8 @@ type t = {
   studies : string list;
       (** Ablation axis: [compensation], [queue-factor], [transports],
           [filtering], [memory]. *)
+  wnames : string list;  (** Workload axis ({!Workload_spec} presets). *)
+  loads : int list;  (** Workload axis: offered load in % of bisection bw. *)
   profile : string;  (** Fuzz generation bounds: [quick] or [soak]. *)
   seeds : int list;
 }
@@ -61,6 +63,9 @@ type job =
   | Incast_job of { scheme : string; fanin : int; mb : int; seed : int }
   | Ablation_job of { study : string; seed : int }
   | Fuzz_job of { soak : bool; seed : int }
+  | Workload_job of { wname : string; wscheme : string; load : int; wseed : int }
+      (** A {!Workload_spec} preset with its load factor and seed
+          overridden, run under one scheme by {!Workload_run}. *)
 
 val jobs_of : t -> job list
 (** Deterministic expansion order: the axes nest in the field order
@@ -88,9 +93,10 @@ val studies_known : string list
 
 val preset : string -> t option
 val preset_names : string list
-(** [quick fig1 fig5a fig5b incast ablation fuzz] — [quick] is the CI
-    gate grid (small Fig. 5 slice), the rest regenerate the paper
-    figures/studies. *)
+(** [quick fig1 fig5a fig5b incast ablation fuzz mix load-sweep
+    failures] — [quick] is the CI gate grid (small Fig. 5 slice), the
+    rest regenerate the paper figures/studies; the last three sweep the
+    production-workload scenarios ({!Workload_spec} presets). *)
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

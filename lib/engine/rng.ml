@@ -41,6 +41,22 @@ let split t =
   let s3 = splitmix_next st in
   { s0; s1; s2; s3 }
 
+let substream ~seed ~index =
+  (* Pure derivation: mix the index into the seed through two rounds of
+     splitmix so neighbouring indices land far apart, then expand as in
+     [create].  Never touches any parent generator state. *)
+  let st = ref (Int64.of_int seed) in
+  let a = splitmix_next st in
+  let st =
+    ref (Int64.logxor a (Int64.mul (Int64.of_int index) 0xD1342543DE82EF95L))
+  in
+  let _discard = splitmix_next st in
+  let s0 = splitmix_next st in
+  let s1 = splitmix_next st in
+  let s2 = splitmix_next st in
+  let s3 = splitmix_next st in
+  { s0; s1; s2; s3 }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   let v = Int64.to_int (Int64.shift_right_logical (int64 t) 1) land max_int in

@@ -12,6 +12,14 @@ val create : seed:int -> t
 val split : t -> t
 (** Derive an independent stream.  Consumes one draw from the parent. *)
 
+val substream : seed:int -> index:int -> t
+(** [substream ~seed ~index] is a pure function of [(seed, index)]: the
+    [index]-th child stream of [seed].  Unlike [split] it consumes nothing
+    from any parent generator, so the child seen by flow [i] is identical
+    no matter how many other flows were sampled before it — the property
+    the workload generator relies on for per-flow reproducibility.  The
+    derived state is disjoint from the stream [create ~seed] produces. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform in [[0, bound)]. [bound > 0]. *)
 

@@ -14,7 +14,7 @@ let active (spec : Fuzz_spec.t) =
   || spec.Fuzz_spec.dup_ppm > 0
   || spec.Fuzz_spec.delay_ppm > 0
 
-let install ~engine ~rng ~(spec : Fuzz_spec.t) ~iter_ports =
+let install ?window ~engine ~rng ~(spec : Fuzz_spec.t) ~iter_ports () =
   let c =
     {
       drops_data = 0;
@@ -32,9 +32,19 @@ let install ~engine ~rng ~(spec : Fuzz_spec.t) ~iter_ports =
     let dup = spec.Fuzz_spec.dup_ppm in
     let delay = spec.Fuzz_spec.delay_ppm in
     let delay_max = max 1 spec.Fuzz_spec.delay_max_ns in
+    let in_window =
+      match window with
+      | None -> fun () -> true
+      | Some (start_ns, stop_ns) ->
+          fun () ->
+            let now = Engine.now engine in
+            now >= start_ns && now < stop_ns
+    in
     let wrap port =
       let base = Port.deliver_fn port in
       Port.set_deliver port (fun pkt ->
+          if not (in_window ()) then base pkt
+          else begin
           let data = Packet.is_data pkt in
           let p = Rng.int rng 1_000_000 in
           if p < drop then begin
@@ -63,6 +73,7 @@ let install ~engine ~rng ~(spec : Fuzz_spec.t) ~iter_ports =
               ignore (Engine.schedule engine ~delay:d (fun () -> base pkt))
             end
             else base pkt
+          end
           end)
     in
     iter_ports wrap

@@ -27,10 +27,16 @@ val active : Fuzz_spec.t -> bool
     [install] leaves the ports untouched). *)
 
 val install :
+  ?window:Sim_time.t * Sim_time.t ->
   engine:Engine.t ->
   rng:Rng.t ->
   spec:Fuzz_spec.t ->
   iter_ports:((Port.t -> unit) -> unit) ->
+  unit ->
   counters
+(** [?window:(start, stop)] gates the fault layer to simulated times in
+    [\[start, stop)]; outside the window packets pass through untouched.
+    Defaults to always-on.  Used by workload failure scripts to model
+    bounded drop storms. *)
 
 val pp : Format.formatter -> counters -> unit

@@ -190,7 +190,7 @@ let run_scheme (spec : Fuzz_spec.t) ~scheme : outcome =
   let fault_rng = Rng.create ~seed:(spec.Fuzz_spec.seed lxor 0xfa017) in
   let fault =
     Fuzz_fault.install ~engine:eng ~rng:fault_rng ~spec
-      ~iter_ports:(iter_ports net)
+      ~iter_ports:(iter_ports net) ()
   in
   (match net with
   | Net_ft _ -> ()

@@ -68,6 +68,13 @@ val fabric_link_id : shape -> leaf:int -> spine:int -> int
 (** Link id of a leaf<->spine link in the generated topology (host links
     occupy ids [0 .. n_hosts - 1]).  Leaf-spine shapes only. *)
 
+val shape_to_string : shape -> string
+(** ["ls:leaves:spines:hosts:hostg:fabg:delay"] or ["ft:k:gbps:delay"] —
+    the shape fragment of the [fz1] grammar, reused verbatim by
+    [Workload_spec]. *)
+
+val shape_of_string : string -> (shape, string) result
+
 val packets_of_bytes : t -> int -> int
 (** Messages are segmented at the (fixed, 1500 B) MTU. *)
 

@@ -69,6 +69,21 @@ let build p =
     leaves;
   { topo; leaves; spines; hosts; hosts_per_leaf = p.hosts_per_leaf }
 
+let bisection_bw p =
+  (* Cut the fabric into two halves of [n_leaves/2] leaves each (the odd
+     leaf, if any, goes to the larger half).  Traffic crossing the cut is
+     limited by the smaller half's aggregate uplink capacity, and can never
+     exceed what that half's hosts can inject. *)
+  let half_leaves = p.n_leaves / 2 in
+  let uplink = float_of_int (half_leaves * p.n_spines) *. (p.fabric_bw :> float) in
+  let inject =
+    float_of_int (half_leaves * p.hosts_per_leaf) *. (p.host_bw :> float)
+  in
+  if p.n_leaves < 2 then
+    (* Single-leaf fabric: all traffic stays under the ToR. *)
+    float_of_int p.hosts_per_leaf *. (p.host_bw :> float)
+  else Float.min uplink inject
+
 let leaf_index_of_host t host =
   if host < 0 || host >= Array.length t.hosts then
     invalid_arg "Leaf_spine.leaf_index_of_host";

@@ -34,6 +34,13 @@ val motivation : params
 
 val build : params -> t
 
+val bisection_bw : params -> float
+(** Bisection bandwidth of the fabric in bits per second: cut the leaves
+    into two halves; the cut capacity is the smaller half's aggregate
+    uplink bandwidth, capped by what that half's hosts can inject.  Used
+    by the workload generator to convert a target load factor into an
+    open-loop arrival rate. *)
+
 val tor_of_host : t -> int -> int
 (** ToR switch node id serving a host. *)
 

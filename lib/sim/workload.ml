@@ -53,7 +53,7 @@ let launch_group ~net ~members ~schedule ~on_complete ~group =
     qps = Hashtbl.fold (fun _ qp acc -> qp :: acc) pairs [];
   }
 
-let permutation_pairs (ls : Leaf_spine.t) ~rng =
+let permutation_pairs_array (ls : Leaf_spine.t) ~rng =
   let hosts = Array.copy ls.Leaf_spine.hosts in
   let ok perm =
     Array.for_all2
@@ -71,9 +71,10 @@ let permutation_pairs (ls : Leaf_spine.t) ~rng =
   done;
   if not (ok perm) then
     (* Fall back to a rotation by one leaf, always cross-rack. *)
-    Array.to_list
-      (Array.mapi
-         (fun i h ->
-           (h, hosts.((i + ls.Leaf_spine.hosts_per_leaf) mod Array.length hosts)))
-         hosts)
-  else Array.to_list (Array.map2 (fun a b -> (a, b)) hosts perm)
+    Array.mapi
+      (fun i h ->
+        (h, hosts.((i + ls.Leaf_spine.hosts_per_leaf) mod Array.length hosts)))
+      hosts
+  else Array.map2 (fun a b -> (a, b)) hosts perm
+
+let permutation_pairs ls ~rng = Array.to_list (permutation_pairs_array ls ~rng)

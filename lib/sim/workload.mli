@@ -27,6 +27,12 @@ val launch_group :
 (** Create the QPs a schedule needs between group members (one per ordered
     pair that ever communicates) and start a {!Runner} over them. *)
 
-val permutation_pairs : Leaf_spine.t -> rng:Rng.t -> (int * int) list
+val permutation_pairs_array : Leaf_spine.t -> rng:Rng.t -> (int * int) array
 (** A random cross-rack permutation: every host sends to exactly one host
-    of another leaf (used by ablation workloads). *)
+    of another leaf (used by ablation workloads).  Returned as an array;
+    callers iterate it directly. *)
+
+val permutation_pairs : Leaf_spine.t -> rng:Rng.t -> (int * int) list
+  [@@ocaml.deprecated "Use permutation_pairs_array instead."]
+(** @deprecated Use {!permutation_pairs_array}; this allocates an
+    intermediate list only to be iterated. *)

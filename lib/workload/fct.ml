@@ -1,0 +1,56 @@
+(* Size-class boundaries (inclusive upper bounds, bytes). *)
+let class_names = [| "small"; "medium"; "large"; "huge" |]
+let class_bounds = [| 10_000; 100_000; 1_000_000; max_int |]
+let n_classes = Array.length class_names
+
+let class_of_bytes bytes =
+  let rec go i = if bytes <= class_bounds.(i) then i else go (i + 1) in
+  go 0
+
+let class_name i = class_names.(i)
+
+type t = {
+  hists : Histogram.t array;  (** Per class; FCT in microseconds. *)
+  overall : Histogram.t;
+  counts : int array;
+  mutable total : int;
+}
+
+(* FCTs span ~1 us .. seconds; the log-bucketed histogram keeps memory
+   O(1) per class no matter how many flows are recorded. *)
+let mk () = Histogram.create ~min_value:0.1 ~max_value:1e9 ()
+
+let create () =
+  {
+    hists = Array.init n_classes (fun _ -> mk ());
+    overall = mk ();
+    counts = Array.make n_classes 0;
+    total = 0;
+  }
+
+let record t ~bytes ~fct_us =
+  let c = class_of_bytes bytes in
+  t.counts.(c) <- t.counts.(c) + 1;
+  t.total <- t.total + 1;
+  Histogram.record t.hists.(c) fct_us;
+  Histogram.record t.overall fct_us
+
+let count t = t.total
+let class_count t i = t.counts.(i)
+
+let finite f = if Float.is_nan f then 0. else f
+
+let hist_metrics prefix h count =
+  [
+    (prefix ^ "flows", float_of_int count);
+    (prefix ^ "fct_p50_us", finite (Histogram.percentile h 0.5));
+    (prefix ^ "fct_p99_us", finite (Histogram.percentile h 0.99));
+    (prefix ^ "fct_p999_us", finite (Histogram.percentile h 0.999));
+  ]
+
+let metrics t =
+  hist_metrics "" t.overall t.total
+  @ [ ("fct_mean_us", finite (Histogram.mean t.overall)) ]
+  @ List.concat
+      (List.init n_classes (fun i ->
+           hist_metrics (class_names.(i) ^ "_") t.hists.(i) t.counts.(i)))

@@ -1,0 +1,33 @@
+(** Flow-size samplers for the workload generator.
+
+    Named distributions follow the published datacenter CDFs
+    conventionally used in packet-spraying and load-balancing evaluations
+    (web search, Hadoop, block storage), modeled as piecewise-linear CDFs
+    with linear interpolation inside each segment; [Fixed] and [Uniform]
+    cover microbenchmark shapes.  Sampling is driven entirely by the
+    caller's {!Rng.t}, so a per-flow substream yields the same size no
+    matter how many other flows were drawn before it. *)
+
+type dist =
+  | Fixed of int
+  | Uniform of { lo : int; hi : int }
+  | Websearch  (** Heavy-tailed: most flows small, most bytes in MBs. *)
+  | Hadoop  (** RPC-dominated: half the flows under ~1 kB. *)
+  | Storage  (** Bimodal: 4–8 kB metadata ops plus large reads. *)
+
+val sample : dist -> Rng.t -> int
+(** Always [>= 1] byte. *)
+
+val mean_bytes : dist -> float
+(** Analytic mean of the distribution — the denominator of the open-loop
+    load-factor math (flows/s = load x capacity / (8 x mean)). *)
+
+val max_bytes : dist -> int
+(** Upper support bound (sanity checks, bench sizing). *)
+
+val to_string : dist -> string
+(** ["websearch"], ["hadoop"], ["storage"], ["fixed:N"] or
+    ["uniform:LO:HI"] — integer-exact round-trip with {!of_string}. *)
+
+val of_string : string -> (dist, string) result
+val pp : Format.formatter -> dist -> unit

@@ -1,0 +1,109 @@
+type stats = {
+  mutable offered : int;
+  mutable completed : int;
+  mutable live : int;
+  mutable live_hwm : int;
+  mutable qps_created : int;
+  mutable bytes_offered : int;
+  mutable last_completion_ns : Sim_time.t;
+}
+
+type t = {
+  engine : Engine.t;
+  connect : src:int -> dst:int -> Rnic.qp;
+  n_hosts : int;
+  dist : Flow_size.dist;
+  arrival : Arrival.t;
+  seed : int;
+  n_flows : int;
+  fct : Fct.t;
+  stats : stats;
+  (* Idle QPs by (src, dst).  The RNIC never frees connection state, so
+     per-flow QPs would grow with the *total* flow count; reusing idle
+     QPs bounds live connection state by the concurrency high-water mark
+     per pair instead. *)
+  pool : (int * int, Rnic.qp Queue.t) Hashtbl.t;
+  arr_rng : Rng.t;
+}
+
+let stats t = t.stats
+let all_done t = t.stats.completed >= t.n_flows
+
+let release t ~src ~dst qp =
+  let q =
+    match Hashtbl.find_opt t.pool (src, dst) with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace t.pool (src, dst) q;
+        q
+  in
+  Queue.push qp q
+
+let acquire t ~src ~dst =
+  match Hashtbl.find_opt t.pool (src, dst) with
+  | Some q when not (Queue.is_empty q) -> Queue.pop q
+  | _ ->
+      t.stats.qps_created <- t.stats.qps_created + 1;
+      t.connect ~src ~dst
+
+(* Materialize flow [index]: all of its randomness comes from the pure
+   per-flow substream, so the flow's (src, dst, size) triple is a
+   function of (seed, index) alone — stable under reordering and across
+   schemes. *)
+let materialize t index =
+  let sub = Rng.substream ~seed:t.seed ~index in
+  let src = Rng.int sub t.n_hosts in
+  let d = Rng.int sub (t.n_hosts - 1) in
+  let dst = if d >= src then d + 1 else d in
+  let bytes = Flow_size.sample t.dist sub in
+  let qp = acquire t ~src ~dst in
+  let s = t.stats in
+  s.offered <- s.offered + 1;
+  s.bytes_offered <- s.bytes_offered + bytes;
+  s.live <- s.live + 1;
+  if s.live > s.live_hwm then s.live_hwm <- s.live;
+  let posted = Engine.now t.engine in
+  Rnic.post_send qp ~bytes
+    ~on_complete:(fun time ->
+      s.live <- s.live - 1;
+      s.completed <- s.completed + 1;
+      s.last_completion_ns <- max s.last_completion_ns time;
+      Fct.record t.fct ~bytes ~fct_us:(Sim_time.to_us (time - posted));
+      release t ~src ~dst qp)
+
+let rec schedule_arrival t index =
+  let gap = Arrival.next_gap_ns t.arrival t.arr_rng in
+  ignore
+    (Engine.schedule t.engine ~delay:gap (fun () ->
+         materialize t index;
+         if index + 1 < t.n_flows then schedule_arrival t (index + 1)))
+
+let start ~engine ~connect ~n_hosts ~dist ~arrival ~seed ~n_flows ~fct () =
+  if n_hosts < 2 then invalid_arg "Flow_stream.start: need >= 2 hosts";
+  let t =
+    {
+      engine;
+      connect;
+      n_hosts;
+      dist;
+      arrival;
+      seed;
+      n_flows;
+      fct;
+      stats =
+        {
+          offered = 0;
+          completed = 0;
+          live = 0;
+          live_hwm = 0;
+          qps_created = 0;
+          bytes_offered = 0;
+          last_completion_ns = 0;
+        };
+      pool = Hashtbl.create 64;
+      arr_rng = Rng.create ~seed:(seed lxor 0x0a221a1);
+    }
+  in
+  if n_flows > 0 then schedule_arrival t 0;
+  t

@@ -1,0 +1,42 @@
+(** Lazy open-loop flow stream with O(active-flows) memory.
+
+    Only the {e next} arrival is ever scheduled; a flow's (src, dst,
+    size) triple is drawn from the pure per-flow substream
+    [Rng.substream ~seed ~index] at the moment its arrival event fires,
+    posted, and fully released on completion.  Idle QPs are pooled per
+    (src, dst) pair so connection state is bounded by the concurrency
+    high-water mark, not the total flow count — a 1M–10M-flow run stays
+    O(active flows) resident.
+
+    [stats.live_hwm] is the measured high-water mark of concurrently
+    live flows — the acceptance metric of the streaming design. *)
+
+type stats = {
+  mutable offered : int;  (** Flows materialized so far. *)
+  mutable completed : int;
+  mutable live : int;
+  mutable live_hwm : int;  (** Peak of [live] over the run. *)
+  mutable qps_created : int;  (** Distinct QPs ever connected. *)
+  mutable bytes_offered : int;
+  mutable last_completion_ns : Sim_time.t;
+}
+
+type t
+
+val start :
+  engine:Engine.t ->
+  connect:(src:int -> dst:int -> Rnic.qp) ->
+  n_hosts:int ->
+  dist:Flow_size.dist ->
+  arrival:Arrival.t ->
+  seed:int ->
+  n_flows:int ->
+  fct:Fct.t ->
+  unit ->
+  t
+(** Schedules the first arrival (one [Arrival] gap from now) and returns
+    immediately; the stream then self-perpetuates on the engine. *)
+
+val stats : t -> stats
+val all_done : t -> bool
+(** All [n_flows] flows have completed. *)

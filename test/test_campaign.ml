@@ -38,6 +38,7 @@ let coll_pool =
   [ "allreduce"; "hd-allreduce"; "alltoall"; "allgather"; "reduce-scatter" ]
 
 let transport_pool = [ "sr"; "gbn"; "ideal" ]
+let wname_pool = [ "mix"; "sweep"; "failures" ]
 
 let gen_fabric =
   QCheck.Gen.(
@@ -62,7 +63,7 @@ let gen_spec =
     let* name = oneofl [ "quick"; "night-7"; "a_b"; "x0" ] in
     let* target =
       oneofl
-        Campaign_spec.[ Fig1; Fig5; Incast; Ablation; Fuzz_sweep ]
+        Campaign_spec.[ Fig1; Fig5; Incast; Ablation; Fuzz_sweep; Workload ]
     in
     let* fabrics = opt_axis gen_fabric in
     let* transports = opt_axis (oneofl transport_pool) in
@@ -72,6 +73,8 @@ let gen_spec =
     let* dcqcn = opt_axis (pair (int_range 1 1000) (int_range 1 200)) in
     let* fanins = opt_axis (int_range 1 32) in
     let* studies = opt_axis (oneofl Campaign_spec.studies_known) in
+    let* wnames = opt_axis (oneofl wname_pool) in
+    let* loads = opt_axis (int_range 1 200) in
     let* profile = oneofl [ "quick"; "soak" ] in
     let* seeds = nonempty_axis (int_range 0 9999) in
     return
@@ -86,6 +89,8 @@ let gen_spec =
         dcqcn;
         fanins;
         studies;
+        wnames;
+        loads;
         profile;
         seeds;
       })
@@ -120,6 +125,13 @@ let gen_job =
         map
           (fun (soak, seed) -> Campaign_spec.Fuzz_job { soak; seed })
           (pair bool (int_range 0 999));
+        map
+          (fun (((wname, wscheme), load), wseed) ->
+            Campaign_spec.Workload_job { wname; wscheme; load; wseed })
+          (pair
+             (pair (pair (oneofl wname_pool) (oneofl scheme_pool))
+                (int_range 1 200))
+             (int_range 0 999));
       ])
 
 let prop_spec_roundtrip =
@@ -160,6 +172,7 @@ let frozen_hashes =
     ("cj1;incast;scheme=ecmp;fanin=8;mb=1;seed=3", "98f53fe7ca69b554");
     ("cj1;ablation;study=compensation;seed=5", "3efc36d37b5e9329");
     ("cj1;fuzz;profile=quick;seed=1", "cc72a2a5a6c0418d");
+    ("cj1;workload;wl=mix;scheme=themis;load=30;seed=21", "615cb165879f6650");
   ]
 
 let test_frozen_hashes () =

@@ -27,6 +27,48 @@ let test_split_independent () =
   let c2_draws = List.init 20 (fun _ -> Rng.int64 c2) in
   Alcotest.(check (list int64)) "child unaffected" c1_draws c2_draws
 
+let prop_substream_stable =
+  (* The substream for (seed, index) is a pure function: re-deriving it
+     yields the exact same draw sequence, regardless of what else was
+     sampled in between. *)
+  QCheck.Test.make ~name:"substream stable across runs" ~count:200
+    QCheck.(pair (int_range 0 10_000) (int_range 0 1_000_000))
+    (fun (seed, index) ->
+      let a = Rng.substream ~seed ~index in
+      let noise = Rng.substream ~seed ~index:(index + 1) in
+      ignore (Rng.int64 noise);
+      let b = Rng.substream ~seed ~index in
+      List.init 16 (fun _ -> Rng.int64 a)
+      = List.init 16 (fun _ -> Rng.int64 b))
+
+let prop_substream_disjoint_from_parent =
+  (* A substream must not replay the parent sequence: collect 64 parent
+     draws and check no 8-draw window of the child matches. *)
+  QCheck.Test.make ~name:"substream disjoint from parent" ~count:100
+    QCheck.(pair (int_range 0 10_000) (int_range 0 1000))
+    (fun (seed, index) ->
+      let parent = Rng.create ~seed in
+      let parent_draws = Array.init 64 (fun _ -> Rng.int64 parent) in
+      let child = Rng.substream ~seed ~index in
+      let child_draws = Array.init 64 (fun _ -> Rng.int64 child) in
+      let overlap = ref 0 in
+      Array.iter
+        (fun c -> if Array.exists (fun p -> p = c) parent_draws then incr overlap)
+        child_draws;
+      !overlap = 0)
+
+let prop_substream_indices_differ =
+  QCheck.Test.make ~name:"substream indices independent" ~count:100
+    QCheck.(pair (int_range 0 10_000) (int_range 0 100_000))
+    (fun (seed, index) ->
+      let a = Rng.substream ~seed ~index in
+      let b = Rng.substream ~seed ~index:(index + 1) in
+      let same = ref 0 in
+      for _ = 1 to 32 do
+        if Rng.int64 a = Rng.int64 b then incr same
+      done;
+      !same < 2)
+
 let test_int_bounds () =
   let rng = Rng.create ~seed:3 in
   for _ = 1 to 10_000 do
@@ -109,6 +151,9 @@ let () =
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
           Alcotest.test_case "split independence" `Quick test_split_independent;
+          QCheck_alcotest.to_alcotest prop_substream_stable;
+          QCheck_alcotest.to_alcotest prop_substream_disjoint_from_parent;
+          QCheck_alcotest.to_alcotest prop_substream_indices_differ;
         ] );
       ( "distributions",
         [

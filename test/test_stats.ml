@@ -60,6 +60,45 @@ let test_summary_percentiles () =
   Alcotest.(check (float 1e-9)) "p0" 1. (Stats.Summary.percentile s 0.);
   Alcotest.(check (float 1e-9)) "p100" 100. (Stats.Summary.percentile s 1.)
 
+let test_percentile_empty () =
+  let s = Stats.Summary.create () in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool)
+        (Printf.sprintf "p%g of empty is nan" (p *. 100.))
+        true
+        (Float.is_nan (Stats.Summary.percentile s p)))
+    [ 0.; 0.5; 0.99; 0.999; 1. ]
+
+let test_percentile_single () =
+  let s = Stats.Summary.create () in
+  Stats.Summary.add s 42.;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%g of single sample" (p *. 100.))
+        42.
+        (Stats.Summary.percentile s p))
+    [ 0.; 0.5; 0.99; 0.999; 1. ]
+
+let test_percentile_exact_boundaries () =
+  (* 1001 samples 1..1001: p*(n-1) is an exact integer rank for p50, p99
+     and p999, pinning the nearest-rank convention used by FCT reports. *)
+  let s = Stats.Summary.create () in
+  for i = 1 to 1001 do
+    Stats.Summary.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "p50" 501. (Stats.Summary.percentile s 0.5);
+  Alcotest.(check (float 1e-9)) "p99" 991. (Stats.Summary.percentile s 0.99);
+  Alcotest.(check (float 1e-9)) "p999" 1000. (Stats.Summary.percentile s 0.999);
+  Alcotest.(check (float 1e-9)) "p0" 1. (Stats.Summary.percentile s 0.);
+  Alcotest.(check (float 1e-9)) "p100" 1001. (Stats.Summary.percentile s 1.)
+
+let test_percentile_unsorted_input () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 9.; 1.; 5.; 3.; 7. ];
+  Alcotest.(check (float 1e-9)) "p50 sorts" 5. (Stats.Summary.percentile s 0.5)
+
 let test_summary_empty () =
   let s = Stats.Summary.create () in
   Alcotest.(check (float 0.)) "mean of empty" 0. (Stats.Summary.mean s);
@@ -90,6 +129,12 @@ let () =
           Alcotest.test_case "basic" `Quick test_summary_basic;
           Alcotest.test_case "percentiles" `Quick test_summary_percentiles;
           Alcotest.test_case "empty" `Quick test_summary_empty;
+          Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+          Alcotest.test_case "percentile single" `Quick test_percentile_single;
+          Alcotest.test_case "percentile boundaries" `Quick
+            test_percentile_exact_boundaries;
+          Alcotest.test_case "percentile unsorted" `Quick
+            test_percentile_unsorted_input;
           QCheck_alcotest.to_alcotest prop_summary_mean_in_range;
         ] );
     ]
