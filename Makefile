@@ -3,7 +3,7 @@
 
 .PHONY: all build test examples micro bench-engine bench-engine-smoke \
         bench-fwd bench-fwd-smoke fuzz-quick fuzz-soak campaign-quick \
-        workload-smoke workload-bench check clean
+        workload-smoke workload-bench arena arena-smoke check clean
 
 all: build
 
@@ -65,10 +65,25 @@ campaign-quick:
 	dune exec bin/themis_campaign_cli.exe -- run --preset quick --workers 2 --force --quiet
 	dune exec bin/themis_campaign_cli.exe -- gate --preset quick
 
+# LB-scheme arena (DESIGN.md §13): rival sprayers (REPS, PRIME,
+# Sprinklers, Spritz) against Themis and the baselines across the
+# adversarial path scenarios, gated against the frozen baseline.  The
+# gate also asserts zero fuzz-oracle violations per cell and zero
+# out-of-order arrivals for Sprinklers on the symmetric fabric.
+arena:
+	dune exec bin/themis_campaign_cli.exe -- run --preset arena --workers 4 --force --quiet
+	dune exec bin/themis_campaign_cli.exe -- gate --preset arena
+	dune exec bin/themis_campaign_cli.exe -- report --preset arena
+
+# CI slice: 3 schemes x 2 scenarios.
+arena-smoke:
+	dune exec bin/themis_campaign_cli.exe -- run --preset arena-smoke --workers 2 --force --quiet
+	dune exec bin/themis_campaign_cli.exe -- gate --preset arena-smoke
+
 # Regenerate every paper figure/study/fuzz campaign and refreeze the
 # committed baselines (run after an intentional model change).
 campaign-refreeze:
-	for p in quick fig1 fig5a incast ablation fuzz mix load-sweep failures; do \
+	for p in quick fig1 fig5a incast ablation fuzz mix load-sweep failures arena arena-smoke; do \
 	  dune exec bin/themis_campaign_cli.exe -- run --preset $$p --workers 4 --force --quiet && \
 	  dune exec bin/themis_campaign_cli.exe -- freeze --preset $$p || exit 1; \
 	done
@@ -86,7 +101,7 @@ workload-smoke:
 workload-bench:
 	dune exec bench/workload_bench.exe -- --out BENCH_workload.json
 
-check: build test examples micro bench-engine-smoke bench-fwd-smoke fuzz-quick campaign-quick workload-smoke
+check: build test examples micro bench-engine-smoke bench-fwd-smoke fuzz-quick campaign-quick workload-smoke arena-smoke
 	@echo "check: OK"
 
 clean:

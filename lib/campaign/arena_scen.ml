@@ -1,0 +1,91 @@
+(* Adversarial path scenarios for the LB-scheme arena.
+
+   Every scenario shares one small leaf-spine fabric and one workload —
+   a cross-leaf permutation with staggered starts, so every flow crosses
+   the spine tier and the spraying policy is always in the loop — and
+   differs only in how the path set is skewed.  Keeping the workload
+   fixed makes the scheme x scenario matrix an apples-to-apples
+   comparison: a scheme's column moves only because the paths moved. *)
+
+let n_leaves = 2
+let n_spines = 4
+let hosts_per_leaf = 4
+let n_hosts = n_leaves * hosts_per_leaf
+let flow_bytes = 300_000
+
+let shape =
+  Fuzz_spec.Ls
+    {
+      n_leaves;
+      n_spines;
+      hosts_per_leaf;
+      host_gbps = 25;
+      fabric_gbps = 100;
+      link_delay_ns = 1_000;
+    }
+
+(* Host i sends to its partner on the other leaf; starts staggered by
+   1 us so the first packets do not collide on one ECMP decision tick. *)
+let transfers =
+  List.init n_hosts (fun i ->
+      {
+        Fuzz_spec.src = i;
+        dst = (i + hosts_per_leaf) mod n_hosts;
+        bytes = flow_bytes;
+        start_ns = i * 1_000;
+      })
+
+let base ~seed =
+  {
+    Fuzz_spec.seed;
+    shape;
+    gbn = false;
+    queue_factor_pct = 200;
+    per_port_kb = 256;
+    jitter_ns = 0;
+    drop_ppm = 0;
+    corrupt_ppm = 0;
+    dup_ppm = 0;
+    delay_ppm = 0;
+    delay_max_ns = 1;
+    (* Keep spraying schemes spraying over the surviving spines after a
+       cut instead of collapsing to ECMP — the scenario is about how
+       each policy handles the asymmetric survivor set. *)
+    shrink_pathset = true;
+    deadline_ns = 20_000_000;
+    schemes = [];
+    transfers;
+    link_faults = [];
+    slow_spine = None;
+  }
+
+let known = [ "sym"; "cspine"; "asym"; "pathcut" ]
+
+let spec ~scen ~seed =
+  let b = base ~seed in
+  match scen with
+  | "sym" -> Ok b
+  (* Persistently congested spine: spine 0 serializes at a fifth of its
+     neighbours, so hash-lucky flows pinned to it crawl. *)
+  | "cspine" -> Ok { b with Fuzz_spec.slow_spine = Some (0, 20) }
+  (* Asymmetric link speeds: one spine at half rate — milder than
+     cspine, the regime where weighting beats blind uniformity. *)
+  | "asym" -> Ok { b with Fuzz_spec.slow_spine = Some (1, 50) }
+  (* Post-failure path asymmetry: the leaf0<->spine0 link goes down for
+     good mid-flow, leaving leaf 0 with three uplinks and leaf 1 with
+     four. *)
+  | "pathcut" ->
+      Ok
+        {
+          b with
+          Fuzz_spec.link_faults =
+            [
+              {
+                Fuzz_spec.fault_link =
+                  Fuzz_spec.fabric_link_id shape ~leaf:0 ~spine:0;
+                down_ns = 30_000;
+                up_ns = 0;
+              };
+            ];
+        }
+  | s -> Error (Printf.sprintf "unknown arena scenario %S" s)

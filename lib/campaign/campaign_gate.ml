@@ -168,6 +168,46 @@ let shape_checks ~slack_pct ~lookup ~jobs =
               | _ -> ())
       | _ -> ())
     jobs;
+  (* Arena: zero fuzz-oracle violations for every cell (the policy
+     invariant oracles ride inside that count), and Sprinklers on the
+     clean symmetric fabric must produce zero out-of-order arrivals —
+     reordering-free by construction, so any OOO is a policy bug, not
+     noise. *)
+  List.iter
+    (fun j ->
+      match j with
+      | Campaign_spec.Arena_job a -> (
+          match lookup (Campaign_spec.job_hash j) with
+          | None -> ()
+          | Some r ->
+              (incr checks;
+               match Campaign_result.metric r "violations" with
+               | Some 0. -> ()
+               | Some f ->
+                   push
+                     (Campaign_spec.job_to_string j)
+                     (Printf.sprintf "%d fuzz oracle violations"
+                        (int_of_float f))
+               | None ->
+                   push (Campaign_spec.job_to_string j) "no violations metric");
+              if a.ascheme = "sprinklers" && a.ascen = "sym" then begin
+                incr checks;
+                match Campaign_result.metric r "ooo_arrivals" with
+                | Some 0. -> ()
+                | Some o ->
+                    push
+                      (Campaign_spec.job_to_string j)
+                      (Printf.sprintf
+                         "%d out-of-order arrivals from a reordering-free \
+                          scheme on a symmetric fabric"
+                         (int_of_float o))
+                | None ->
+                    push
+                      (Campaign_spec.job_to_string j)
+                      "no ooo_arrivals metric"
+              end)
+      | _ -> ())
+    jobs;
   (* Fuzz: zero oracle violations, always. *)
   List.iter
     (fun j ->

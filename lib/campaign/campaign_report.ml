@@ -68,8 +68,8 @@ let render_fig5 ppf (spec : Campaign_spec.t) lookup =
         spec.colls)
     spec.fabrics
 
-let render_flat ppf title cols rows =
-  Format.fprintf ppf "@.#### %s@.@.| job |" title;
+let render_flat ?(key = "job") ppf title cols rows =
+  Format.fprintf ppf "@.#### %s@.@.| %s |" title key;
   List.iter (fun c -> Format.fprintf ppf " %s |" c) cols;
   Format.fprintf ppf "@.|---|";
   List.iter (fun _ -> Format.fprintf ppf "---|") cols;
@@ -80,6 +80,90 @@ let render_flat ppf title cols rows =
       List.iter (fun v -> Format.fprintf ppf " %s |" (fmt_cell v)) cells;
       Format.fprintf ppf "@.")
     rows
+
+(* LB-scheme arena: one scheme x metric table per (scenario, seed), a
+   tail-FCT ranking for the headline scenarios, and the Themis-vs-rivals
+   comparison (NACK blocking vs reordering-free-by-construction). *)
+
+let arena_cols =
+  [
+    "tail_fct_us"; "completed_us"; "retx_packets"; "drops"; "ooo_arrivals";
+    "nacks_blocked"; "violations";
+  ]
+
+let render_arena ppf (spec : Campaign_spec.t) lookup =
+  let cell ascheme ascen aseed name =
+    match
+      lookup
+        (Campaign_spec.job_hash
+           (Campaign_spec.Arena_job { ascheme; ascen; aseed }))
+    with
+    | Some r -> metric_or_nan r name
+    | None -> Float.nan
+  in
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun scen ->
+          render_flat ~key:"scheme" ppf
+            (Printf.sprintf "arena / %s / seed %d" scen seed)
+            arena_cols
+            (List.map
+               (fun scheme ->
+                 (scheme, List.map (cell scheme scen seed) arena_cols))
+               spec.schemes))
+        spec.scens;
+      (* Ranking on the scenarios the issue calls out: the clean fabric
+         and the persistently congested spine. *)
+      List.iter
+        (fun scen ->
+          if List.mem scen spec.scens then begin
+            let ranked =
+              List.sort
+                (fun (_, a) (_, b) ->
+                  (* NaN (missing result) sorts last. *)
+                  match (Float.is_nan a, Float.is_nan b) with
+                  | true, true -> 0
+                  | true, false -> 1
+                  | false, true -> -1
+                  | false, false -> Float.compare a b)
+                (List.map
+                   (fun s -> (s, cell s scen seed "tail_fct_us"))
+                   spec.schemes)
+            in
+            Format.fprintf ppf "@.tail-FCT ranking (%s, seed %d):" scen seed;
+            List.iteri
+              (fun i (s, v) ->
+                Format.fprintf ppf "%s %d. %s (%s us)"
+                  (if i = 0 then "" else ";")
+                  (i + 1) s (fmt_cell v))
+              ranked;
+            Format.fprintf ppf "@."
+          end)
+        [ "sym"; "cspine" ];
+      (* Themis survives spraying-induced reordering by blocking
+         spurious NACKs in the fabric; Sprinklers never reorders in the
+         first place.  Put the two mechanisms side by side. *)
+      if List.mem "themis" spec.schemes then
+        List.iter
+          (fun scen ->
+            let tb = cell "themis" scen seed "nacks_blocked" in
+            let tooo = cell "themis" scen seed "ooo_arrivals" in
+            if not (Float.is_nan tb) then begin
+              Format.fprintf ppf
+                "@.%s: themis absorbed %.0f OOO arrivals by blocking %.0f \
+                 spurious NACKs"
+                scen tooo tb;
+              List.iter
+                (fun rival ->
+                  let ooo = cell rival scen seed "ooo_arrivals" in
+                  if not (Float.is_nan ooo) then
+                    Format.fprintf ppf "; %s saw %.0f OOO arrivals" rival ooo)
+                [ "sprinklers"; "reps"; "prime"; "spritz" ];
+              Format.fprintf ppf ".@."
+            end)
+          spec.scens)
+    spec.seeds
 
 let render ppf ~(spec : Campaign_spec.t) ~lookup () =
   let jobs = Campaign_spec.jobs_of spec in
@@ -177,7 +261,8 @@ let render ppf ~(spec : Campaign_spec.t) ~lookup () =
         jobs;
       Format.fprintf ppf
         "@.fuzz sweep: %d specs with results, %d oracle violations total@."
-        !with_result !total);
+        !with_result !total
+  | Campaign_spec.Arena -> render_arena ppf spec lookup);
   if missing <> [] then begin
     Format.fprintf ppf "@.missing results:@.";
     List.iter

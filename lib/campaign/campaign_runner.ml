@@ -8,6 +8,7 @@ let with_fresh_context f =
   Packet.reset_uid_counter ();
   Packet_pool.reset ();
   Flow_id.reset_interner ();
+  Lb_state.reset_globals ();
   Telemetry.disable ();
   ignore (Telemetry.enable ());
   Fun.protect ~finally:Telemetry.disable f
@@ -267,6 +268,37 @@ let workload ~wname ~wscheme ~load ~wseed =
     ~metrics:(Workload_run.metrics r)
 
 (* ------------------------------------------------------------------ *)
+(* LB-scheme arena: one Arena_scen scenario under one fuzz-runner
+   scheme.  Fuzz_run resets the ambient global state itself (packet
+   uids, pool, interner, Lb_state), so no with_fresh_context. *)
+
+let arena ~ascheme ~ascen ~aseed =
+  let spec =
+    match Arena_scen.spec ~scen:ascen ~seed:aseed with
+    | Ok s -> s
+    | Error e -> invalid_arg (Printf.sprintf "Campaign_runner: %s" e)
+  in
+  let o = Fuzz_run.run_scheme_safe spec ~scheme:ascheme in
+  let nb =
+    match o.Fuzz_run.o_themis with
+    | Some t -> t.Network.nacks_blocked
+    | None -> 0
+  in
+  Campaign_result.make
+    ~job:(Campaign_spec.Arena_job { ascheme; ascen; aseed })
+    ~metrics:
+      [
+        ("violations", i (List.length o.Fuzz_run.o_violations));
+        ("tail_fct_us", o.Fuzz_run.o_tail_fct_us);
+        ("completed_us", o.Fuzz_run.o_completed_us);
+        ("data_packets", i o.Fuzz_run.o_data_packets);
+        ("retx_packets", i o.Fuzz_run.o_retx_packets);
+        ("drops", i o.Fuzz_run.o_drops);
+        ("ooo_arrivals", i o.Fuzz_run.o_ooo);
+        ("nacks_blocked", i nb);
+      ]
+
+(* ------------------------------------------------------------------ *)
 
 let run_job = function
   | Campaign_spec.Fig1_job { transport; mb; seed } ->
@@ -279,6 +311,8 @@ let run_job = function
   | Campaign_spec.Fuzz_job { soak; seed } -> fuzz ~soak ~seed
   | Campaign_spec.Workload_job { wname; wscheme; load; wseed } ->
       workload ~wname ~wscheme ~load ~wseed
+  | Campaign_spec.Arena_job { ascheme; ascen; aseed } ->
+      arena ~ascheme ~ascen ~aseed
 
 let headline_metrics = function
   | Campaign_spec.Fig1_job _ -> [ "avg_goodput_gbps"; "avg_retx_ratio" ]
@@ -287,3 +321,4 @@ let headline_metrics = function
   | Campaign_spec.Ablation_job _ -> []
   | Campaign_spec.Fuzz_job _ -> [ "failures" ]
   | Campaign_spec.Workload_job _ -> [ "completed"; "fct_p99_us" ]
+  | Campaign_spec.Arena_job _ -> [ "tail_fct_us"; "violations" ]

@@ -1,4 +1,4 @@
-type target = Fig1 | Fig5 | Incast | Ablation | Fuzz_sweep | Workload
+type target = Fig1 | Fig5 | Incast | Ablation | Fuzz_sweep | Workload | Arena
 
 let target_to_string = function
   | Fig1 -> "fig1"
@@ -7,6 +7,7 @@ let target_to_string = function
   | Ablation -> "ablation"
   | Fuzz_sweep -> "fuzz"
   | Workload -> "workload"
+  | Arena -> "arena"
 
 let target_of_string = function
   | "fig1" -> Ok Fig1
@@ -15,6 +16,7 @@ let target_of_string = function
   | "ablation" -> Ok Ablation
   | "fuzz" -> Ok Fuzz_sweep
   | "workload" -> Ok Workload
+  | "arena" -> Ok Arena
   | s -> Error (Printf.sprintf "unknown target %S" s)
 
 type fabric =
@@ -73,6 +75,7 @@ type t = {
   studies : string list;
   wnames : string list;
   loads : int list;
+  scens : string list;
   profile : string;
   seeds : int list;
 }
@@ -92,6 +95,7 @@ type job =
   | Ablation_job of { study : string; seed : int }
   | Fuzz_job of { soak : bool; seed : int }
   | Workload_job of { wname : string; wscheme : string; load : int; wseed : int }
+  | Arena_job of { ascheme : string; ascen : string; aseed : int }
 
 let equal = ( = )
 let equal_job = ( = )
@@ -137,6 +141,12 @@ let jobs_of t =
                   List.map
                     (fun wseed -> Workload_job { wname; wscheme; load; wseed })
                     t.seeds)))
+  | Arena ->
+      cart t.schemes (fun ascheme ->
+          cart t.scens (fun ascen ->
+              List.map
+                (fun aseed -> Arena_job { ascheme; ascen; aseed })
+                t.seeds))
 
 (* ------------------------------------------------------------------ *)
 (* Serialization: one line, exact round-trip (Fuzz_spec conventions). *)
@@ -146,7 +156,7 @@ let ints xs = join (List.map string_of_int xs)
 
 let to_string t =
   Printf.sprintf
-    "cp1;name=%s;target=%s;fab=%s;tr=%s;schemes=%s;colls=%s;mb=%s;dcqcn=%s;fanins=%s;studies=%s;wl=%s;loads=%s;profile=%s;seeds=%s"
+    "cp1;name=%s;target=%s;fab=%s;tr=%s;schemes=%s;colls=%s;mb=%s;dcqcn=%s;fanins=%s;studies=%s;wl=%s;loads=%s;scens=%s;profile=%s;seeds=%s"
     t.name
     (target_to_string t.target)
     (join (List.map fabric_to_string t.fabrics))
@@ -154,8 +164,8 @@ let to_string t =
     (String.concat "+" t.schemes)
     (join t.colls) (ints t.mbs)
     (join (List.map (fun (ti, td) -> Printf.sprintf "%d:%d" ti td) t.dcqcn))
-    (ints t.fanins) (join t.studies) (join t.wnames) (ints t.loads) t.profile
-    (ints t.seeds)
+    (ints t.fanins) (join t.studies) (join t.wnames) (ints t.loads)
+    (join t.scens) t.profile (ints t.seeds)
 
 let split_nonempty sep s =
   if String.trim s = "" then [] else String.split_on_char sep s
@@ -219,11 +229,12 @@ let of_string s =
       let* fanins = ints_of fanins_s ~what:"fanins" in
       let* studies_s = find "studies" in
       let studies = split_nonempty ',' studies_s in
-      (* wl/loads post-date the cp1 grammar; absent fields default to
-         empty so pre-workload spec lines keep parsing. *)
+      (* wl/loads/scens post-date the cp1 grammar; absent fields default
+         to empty so pre-workload / pre-arena spec lines keep parsing. *)
       let find_default k = Option.value (List.assoc_opt k kv) ~default:"" in
       let wnames = split_nonempty ',' (find_default "wl") in
       let* loads = ints_of (find_default "loads") ~what:"loads" in
+      let scens = split_nonempty ',' (find_default "scens") in
       let* profile = find "profile" in
       let* seeds_s = find "seeds" in
       let* seeds = ints_of seeds_s ~what:"seeds" in
@@ -243,6 +254,7 @@ let of_string s =
               studies;
               wnames;
               loads;
+              scens;
               profile;
               seeds;
             }
@@ -270,6 +282,8 @@ let job_to_string = function
   | Workload_job { wname; wscheme; load; wseed } ->
       Printf.sprintf "cj1;workload;wl=%s;scheme=%s;load=%d;seed=%d" wname
         wscheme load wseed
+  | Arena_job { ascheme; ascen; aseed } ->
+      Printf.sprintf "cj1;arena;scheme=%s;scen=%s;seed=%d" ascheme ascen aseed
 
 let job_of_string s =
   let s = String.trim s in
@@ -337,6 +351,11 @@ let job_of_string s =
           let* load = find_int "load" in
           let* wseed = find_int "seed" in
           Ok (Workload_job { wname; wscheme; load; wseed })
+      | "arena" ->
+          let* ascheme = find "scheme" in
+          let* ascen = find "scen" in
+          let* aseed = find_int "seed" in
+          Ok (Arena_job { ascheme; ascen; aseed })
       | k -> Error (Printf.sprintf "unknown job kind %S" k))
   | _ -> Error "job must start with \"cj1;\""
 
@@ -446,6 +465,18 @@ let validate t =
       check_all "load" t.loads (fun l ->
           if l > 0 && l <= 200 then Ok l
           else Error (Printf.sprintf "load %d%% out of (0, 200]" l))
+  | Arena ->
+      let* () = nonempty "schemes" t.schemes in
+      let* () = nonempty "scens" t.scens in
+      (* Arena schemes are fuzz-runner scheme names (they include the
+         ablations and the rival sprayers), not Network.scheme names. *)
+      let* () =
+        check_all "scheme" t.schemes (fun s ->
+            if List.mem s Fuzz_run.scheme_names then Ok s
+            else Error (Printf.sprintf "unknown arena scheme %S" s))
+      in
+      check_all "scen" t.scens (fun s -> Result.map (fun _ -> s)
+          (Arena_scen.spec ~scen:s ~seed:0))
 
 (* ------------------------------------------------------------------ *)
 (* Presets. *)
@@ -464,6 +495,7 @@ let empty name target =
     studies = [];
     wnames = [];
     loads = [];
+    scens = [];
     profile = "quick";
     seeds = [];
   }
@@ -552,6 +584,27 @@ let presets =
         schemes = [ "ecmp"; "themis" ];
         loads = [ 40 ];
         seeds = [ 21 ];
+      } );
+    (* The LB-scheme arena: every scheme the fuzz runner knows, across
+       every adversarial path scenario.  Scheme names here are fuzz
+       scheme names ("ar", "spray"), not Network names. *)
+    ( "arena",
+      {
+        (empty "arena" Arena) with
+        schemes =
+          [
+            "ecmp"; "spray"; "ar"; "themis"; "reps"; "prime"; "sprinklers";
+            "spritz";
+          ];
+        scens = Arena_scen.known;
+        seeds = [ 31 ];
+      } );
+    ( "arena-smoke",
+      {
+        (empty "arena-smoke" Arena) with
+        schemes = [ "themis"; "reps"; "sprinklers" ];
+        scens = [ "sym"; "cspine" ];
+        seeds = [ 31 ];
       } );
   ]
 

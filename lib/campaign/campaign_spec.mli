@@ -16,7 +16,7 @@
     serialization silently invalidates every store and baseline, which
     is why the test suite freezes known hashes. *)
 
-type target = Fig1 | Fig5 | Incast | Ablation | Fuzz_sweep | Workload
+type target = Fig1 | Fig5 | Incast | Ablation | Fuzz_sweep | Workload | Arena
 
 val target_to_string : target -> string
 val target_of_string : string -> (target, string) result
@@ -45,6 +45,7 @@ type t = {
           [filtering], [memory]. *)
   wnames : string list;  (** Workload axis ({!Workload_spec} presets). *)
   loads : int list;  (** Workload axis: offered load in % of bisection bw. *)
+  scens : string list;  (** Arena axis ({!Arena_scen.known} scenarios). *)
   profile : string;  (** Fuzz generation bounds: [quick] or [soak]. *)
   seeds : int list;
 }
@@ -66,6 +67,11 @@ type job =
   | Workload_job of { wname : string; wscheme : string; load : int; wseed : int }
       (** A {!Workload_spec} preset with its load factor and seed
           overridden, run under one scheme by {!Workload_run}. *)
+  | Arena_job of { ascheme : string; ascen : string; aseed : int }
+      (** One cell of the LB-scheme arena: an {!Arena_scen} scenario run
+          under one fuzz-runner scheme name ([ascheme] ranges over
+          {!Fuzz_run.scheme_names}, so it includes the rival sprayers
+          [reps]/[prime]/[sprinklers]/[spritz]). *)
 
 val jobs_of : t -> job list
 (** Deterministic expansion order: the axes nest in the field order
@@ -94,9 +100,11 @@ val studies_known : string list
 val preset : string -> t option
 val preset_names : string list
 (** [quick fig1 fig5a fig5b incast ablation fuzz mix load-sweep
-    failures] — [quick] is the CI gate grid (small Fig. 5 slice), the
-    rest regenerate the paper figures/studies; the last three sweep the
-    production-workload scenarios ({!Workload_spec} presets). *)
+    failures arena arena-smoke] — [quick] is the CI gate grid (small
+    Fig. 5 slice), the rest regenerate the paper figures/studies; [mix],
+    [load-sweep] and [failures] sweep the production-workload scenarios
+    ({!Workload_spec} presets); [arena] is the full scheme x scenario
+    LB matrix and [arena-smoke] its 6-job CI slice. *)
 
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool

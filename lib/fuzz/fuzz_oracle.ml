@@ -15,6 +15,7 @@ type view = {
   v_themis : unit -> Network.themis_totals option;
   v_fault : Fuzz_fault.counters;
   v_flows : flow_probe list;
+  v_policy : unit -> (string * string) list;
 }
 
 type violation = { oracle : string; detail : string }
@@ -161,6 +162,12 @@ let check_themis view acc =
           tt.Network.nacks_blocked
       else acc
 
+let check_policy view acc =
+  List.fold_left
+    (fun acc (oracle, detail) -> { oracle; detail } :: acc)
+    acc
+    (view.v_policy ())
+
 let check view ~summary =
   let acc = check_completion view [] in
   let acc =
@@ -172,4 +179,4 @@ let check view ~summary =
     else acc
   in
   let acc = check_telemetry view ~summary acc in
-  List.rev (check_themis view acc)
+  List.rev (check_policy view (check_themis view acc))

@@ -18,7 +18,11 @@
       flows);
     - {b Themis accounting}: NACKs seen = blocked + forwarded-valid +
       forwarded-underflow, and compensations sent plus cancelled never
-      exceed blocked NACKs (each outcome consumes one blocked NACK).
+      exceed blocked NACKs (each outcome consumes one blocked NACK);
+    - {b policy invariants}: scheme-specific behavioural oracles supplied
+      by the runner through [v_policy] — REPS never recycles a tainted
+      entropy, Sprinklers produces zero out-of-order arrivals on a clean
+      symmetric fabric, Spritz path weights sum to the path count.
 
     Oracles that only make sense on a fully completed run (gapless,
     quiescence, conservation) are skipped when a completion violation is
@@ -41,6 +45,9 @@ type view = {
   v_themis : unit -> Network.themis_totals option;
   v_fault : Fuzz_fault.counters;
   v_flows : flow_probe list;
+  v_policy : unit -> (string * string) list;
+      (** Scheme-specific invariant probes, as [(oracle, detail)]
+          violation pairs; [fun () -> []] when no policy oracle applies. *)
 }
 
 type violation = { oracle : string; detail : string }

@@ -7,12 +7,16 @@ type outcome = {
   o_data_packets : int;
   o_retx_packets : int;
   o_drops : int;
+  o_ooo : int;
+  o_tail_fct_us : float;
   o_themis : Network.themis_totals option;
 }
 
 exception Bad_spec of string
 
-let scheme_names = Fuzz_spec.all_schemes @ [ "psn-spray"; "themis-nocomp" ]
+let scheme_names =
+  Fuzz_spec.all_schemes
+  @ [ "psn-spray"; "themis-nocomp"; "reps"; "prime"; "sprinklers"; "spritz" ]
 
 let schemes_of (spec : Fuzz_spec.t) =
   match spec.Fuzz_spec.schemes with
@@ -26,6 +30,10 @@ let ls_scheme = function
   | "psn-spray" -> Network.Psn_spray_only
   | "themis" -> Network.Themis { compensation = true }
   | "themis-nocomp" -> Network.Themis { compensation = false }
+  | "reps" -> Network.Reps
+  | "prime" -> Network.Prime
+  | "sprinklers" -> Network.Sprinklers
+  | "spritz" -> Network.Spritz
   | s -> raise (Bad_spec (Printf.sprintf "unknown scheme %S" s))
 
 (* Fat trees have no standalone Psn_spray_only scheme object; the
@@ -37,6 +45,10 @@ let ft_scheme = function
   | "psn-spray" -> (false, true, Lb_policy.Psn_spray)
   | "themis" -> (true, true, Lb_policy.Ecmp)
   | "themis-nocomp" -> (true, false, Lb_policy.Ecmp)
+  | "reps" -> (false, true, Lb_policy.Reps)
+  | "prime" -> (false, true, Lb_policy.Prime)
+  | "sprinklers" -> (false, true, Lb_policy.Sprinklers)
+  | "spritz" -> (false, true, Lb_policy.Spritz)
   | s -> raise (Bad_spec (Printf.sprintf "unknown scheme %S" s))
 
 type net = Net_ls of Network.t | Net_ft of Fat_tree_net.t
@@ -96,8 +108,17 @@ let validate (spec : Fuzz_spec.t) =
   match spec.Fuzz_spec.shape with
   | Fuzz_spec.Ft _ ->
       if spec.Fuzz_spec.link_faults <> [] then
-        raise (Bad_spec "link faults are only supported on leaf-spine shapes")
+        raise (Bad_spec "link faults are only supported on leaf-spine shapes");
+      if spec.Fuzz_spec.slow_spine <> None then
+        raise (Bad_spec "slow spines are only supported on leaf-spine shapes")
   | Fuzz_spec.Ls { n_leaves; n_spines; hosts_per_leaf; _ } ->
+      (match spec.Fuzz_spec.slow_spine with
+      | None -> ()
+      | Some (spine, gbps) ->
+          if spine < 0 || spine >= n_spines then
+            raise (Bad_spec (Printf.sprintf "slow spine %d not in topology" spine));
+          if gbps <= 0 then
+            raise (Bad_spec "slow spine with non-positive rate"));
       let n_hosts = n_leaves * hosts_per_leaf in
       let n_links = n_hosts + (n_leaves * n_spines) in
       List.iter
@@ -146,7 +167,11 @@ let build (spec : Fuzz_spec.t) ~scheme =
           telemetry_interval = Sim_time.us 200;
         }
       in
-      Net_ls (Network.build params)
+      let n = Network.build params in
+      (match spec.Fuzz_spec.slow_spine with
+      | None -> ()
+      | Some (spine, gbps) -> Network.set_spine_rate n ~spine ~gbps);
+      Net_ls n
   | Fuzz_spec.Ft { k; gbps; link_delay_ns } ->
       let themis, compensation, lb = ft_scheme scheme in
       let bw = Rate.gbps (float_of_int gbps) in
@@ -184,6 +209,7 @@ let run_scheme (spec : Fuzz_spec.t) ~scheme : outcome =
   Packet.reset_uid_counter ();
   Packet_pool.reset ();
   Flow_id.reset_interner ();
+  Lb_state.reset_globals ();
   Telemetry.disable ();
   let net = build spec ~scheme in
   let eng = engine net in
@@ -245,6 +271,68 @@ let run_scheme (spec : Fuzz_spec.t) ~scheme : outcome =
         acc + Switch.dropped_buffer sw + Switch.dropped_unreachable sw)
       0 (switches_list net)
   in
+  let total_ooo () =
+    List.fold_left (fun a n -> a + Rnic.ooo_arrivals n) 0 (nics_list net)
+  in
+  (* Scheme-specific behavioural invariants (satellite oracles of the
+     LB-scheme arena).  Sprinklers' no-overtake claim only holds when
+     nothing else can reorder packets, so that probe is gated on a
+     clean, symmetric, fault-free spec. *)
+  let clean_symmetric =
+    spec.Fuzz_spec.link_faults = []
+    && spec.Fuzz_spec.slow_spine = None
+    && spec.Fuzz_spec.drop_ppm = 0
+    && spec.Fuzz_spec.corrupt_ppm = 0
+    && spec.Fuzz_spec.dup_ppm = 0
+    && spec.Fuzz_spec.delay_ppm = 0
+    && spec.Fuzz_spec.jitter_ns = 0
+  in
+  let v_policy () =
+    match scheme with
+    | "reps" -> (
+        match List.assoc_opt "reps_tainted_recycled" (Lb_state.counters ()) with
+        | Some n when n > 0 ->
+            [
+              ( "policy-reps",
+                Printf.sprintf "%d tainted entropies recycled" n );
+            ]
+        | _ -> [])
+    | "sprinklers" when clean_symmetric ->
+        let ooo = total_ooo () in
+        if ooo > 0 then
+          [
+            ( "policy-sprinklers",
+              Printf.sprintf
+                "%d out-of-order arrivals on a clean symmetric fabric" ooo );
+          ]
+        else []
+    | "spritz" -> (
+        match net with
+        | Net_ft _ -> []
+        | Net_ls n ->
+            let routing = Network.routing n and fab = Network.fabric n in
+            List.concat_map
+              (fun (tr : Fuzz_spec.transfer) ->
+                let tor = Leaf_spine.tor_of_host fab tr.Fuzz_spec.src in
+                let dst = tr.Fuzz_spec.dst in
+                if Leaf_spine.tor_of_host fab dst = tor then []
+                else
+                  let sw = Network.switch n ~node:tor in
+                  let w = Switch.compiled_path_weights sw ~dst in
+                  let sum = Array.fold_left ( + ) 0 w in
+                  let expect = Routing.path_count routing ~src:tor ~dst in
+                  if sum <> expect then
+                    [
+                      ( "policy-spritz",
+                        Printf.sprintf
+                          "ToR %d weights toward host %d sum to %d, path \
+                           count %d"
+                          tor dst sum expect );
+                    ]
+                  else [])
+              spec.Fuzz_spec.transfers)
+    | _ -> []
+  in
   let view =
     {
       Fuzz_oracle.v_nics = nics_list net;
@@ -254,6 +342,7 @@ let run_scheme (spec : Fuzz_spec.t) ~scheme : outcome =
       v_themis = (fun () -> themis_totals net);
       v_fault = fault;
       v_flows = flows;
+      v_policy;
     }
   in
   let deadline = spec.Fuzz_spec.deadline_ns in
@@ -290,6 +379,20 @@ let run_scheme (spec : Fuzz_spec.t) ~scheme : outcome =
         | None -> Sim_time.to_us deadline)
       0. flows
   in
+  (* Worst per-flow completion time (start -> done), the arena's tail-FCT
+     metric; a flow that misses the deadline counts its truncated age. *)
+  let tail_fct_us =
+    List.fold_left
+      (fun acc fp ->
+        let start = fp.Fuzz_oracle.fp_transfer.Fuzz_spec.start_ns in
+        let fin =
+          match fp.Fuzz_oracle.fp_done with
+          | Some t -> Sim_time.to_us t
+          | None -> Sim_time.to_us deadline
+        in
+        Stdlib.max acc (fin -. Sim_time.to_us start))
+      0. flows
+  in
   {
     o_scheme = scheme;
     o_violations = violations;
@@ -305,6 +408,8 @@ let run_scheme (spec : Fuzz_spec.t) ~scheme : outcome =
     o_drops =
       port_data_drops () + switch_data_drops () + fault.Fuzz_fault.drops_data
       + fault.Fuzz_fault.corrupts_data;
+    o_ooo = total_ooo ();
+    o_tail_fct_us = tail_fct_us;
     o_themis = themis_totals net;
   }
 
@@ -331,6 +436,8 @@ let run_scheme_safe spec ~scheme =
         o_data_packets = 0;
         o_retx_packets = 0;
         o_drops = 0;
+        o_ooo = 0;
+        o_tail_fct_us = 0.;
         o_themis = None;
       }
 

@@ -19,6 +19,13 @@ type outcome = {
   o_data_packets : int;
   o_retx_packets : int;
   o_drops : int;  (** Port + switch + injected data losses. *)
+  o_ooo : int;
+      (** Out-of-order data arrivals summed over every receive context —
+          the arena's reordering metric (zero for Sprinklers on a clean
+          symmetric fabric, by construction). *)
+  o_tail_fct_us : float;
+      (** Worst per-flow completion time (start to done; truncated at the
+          deadline for stuck flows) — the arena's ranking metric. *)
   o_themis : Network.themis_totals option;
 }
 
@@ -28,7 +35,8 @@ exception Bad_spec of string
 
 val scheme_names : string list
 (** Accepted [o_scheme] values: {!Fuzz_spec.all_schemes} plus the
-    ablation schemes ["psn-spray"] and ["themis-nocomp"]. *)
+    ablation schemes ["psn-spray"] and ["themis-nocomp"] and the arena
+    rivals ["reps"], ["prime"], ["sprinklers"] and ["spritz"]. *)
 
 val schemes_of : Fuzz_spec.t -> string list
 

@@ -31,6 +31,10 @@ type t = {
   schemes : string list;
   transfers : transfer list;
   link_faults : link_fault list;
+  (* Adversarial path asymmetry: derate every leaf<->spine link of one
+     spine to [gbps] ((spine_index, gbps); Ls shapes only).  Absent from
+     pre-arena corpus lines, which parse as [None]. *)
+  slow_spine : (int * int) option;
 }
 
 let all_schemes = [ "ecmp"; "spray"; "ar"; "themis" ]
@@ -202,6 +206,10 @@ let generate ?(profile = Quick) ~seed () =
     schemes = all_schemes;
     transfers;
     link_faults;
+    (* Generation keeps the pre-arena distribution (and generator
+       stability); the slow-spine scenarios are built explicitly by
+       Arena_scen. *)
+    slow_spine = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -237,6 +245,10 @@ let to_string t =
        (List.map
           (fun f -> Printf.sprintf "%d:%d:%d" f.fault_link f.down_ns f.up_ns)
           t.link_faults));
+  add ";sspine=%s"
+    (match t.slow_spine with
+    | None -> ""
+    | Some (spine, gbps) -> Printf.sprintf "%d:%d" spine gbps);
   Buffer.contents buf
 
 let ( let* ) = Result.bind
@@ -374,6 +386,19 @@ let of_string s =
           let* faults_s = find "faults" in
           let* link_faults = map_result fault_of_string
                                (split_nonempty ',' faults_s) in
+          (* sspine post-dates the fz1 grammar: absent (legacy corpus
+             lines) or empty both mean no slow spine. *)
+          let* slow_spine =
+            match List.assoc_opt "sspine" kv with
+            | None | Some "" -> Ok None
+            | Some v -> (
+                match String.split_on_char ':' v with
+                | [ a; b ] ->
+                    let* spine = int_of a ~what:"sspine" in
+                    let* gbps = int_of b ~what:"sspine" in
+                    Ok (Some (spine, gbps))
+                | _ -> Error (Printf.sprintf "bad sspine %S" v))
+          in
           if transfers = [] then Error "spec has no flows"
           else
             Ok
@@ -394,6 +419,7 @@ let of_string s =
                 schemes;
                 transfers;
                 link_faults;
+                slow_spine;
               }
       | _ -> Error "spec must start with \"fz1;\" or \"gen:<seed>\"")
 

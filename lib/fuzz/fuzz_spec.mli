@@ -56,6 +56,11 @@ type t = {
   schemes : string list;  (** Scheme names; [[]] means {!all_schemes}. *)
   transfers : transfer list;
   link_faults : link_fault list;
+  slow_spine : (int * int) option;
+      (** [(spine_index, gbps)]: derate every leaf<->spine link of that
+          spine — the persistently-congested / asymmetric-speed arena
+          scenarios.  Leaf-spine shapes only; serialized as [sspine=],
+          absent on pre-arena corpus lines (parsed as [None]). *)
 }
 
 val all_schemes : string list

@@ -1,6 +1,6 @@
 type t = {
   engine : Engine.t;
-  bandwidth : Rate.t;
+  mutable bandwidth : Rate.t;
   delay : Sim_time.t;
   label : string;
   ctrl_queue : Packet.t Fifo.t;  (* ACK/NACK/CNP/pause: strict priority *)
@@ -247,5 +247,12 @@ let tx_bytes t = t.tx_bytes
 let dropped_packets t = t.dropped
 let dropped_data_packets t = t.dropped_data
 let bandwidth t = t.bandwidth
+
+let set_bandwidth t r =
+  t.bandwidth <- r;
+  (* The serialization-time memo caches tx times at the old rate. *)
+  t.tx_b0 <- -1;
+  t.tx_b1 <- -1
+
 let label t = t.label
 let deliver_fn t = t.deliver

@@ -82,4 +82,10 @@ val dropped_data_packets : t -> int
     retransmission and deliberately excluded). *)
 
 val bandwidth : t -> Rate.t
+
+val set_bandwidth : t -> Rate.t -> unit
+(** Derate (or restore) the link rate — the asymmetric-link-speed
+    scenarios of the LB arena.  Applies from the next packet serialized;
+    the tx-time memo is invalidated. *)
+
 val label : t -> string

@@ -111,3 +111,13 @@ let path_count t ~src ~dst =
     in
     count src
   end
+
+(* Per-next-hop shortest-path multiplicities at [node] towards [dst]:
+   weights.(i) = number of distinct shortest paths continuing through
+   [next_hops].(i).  Sums to [path_count ~src:node ~dst] (Spritz's
+   weighted spraying invariant). *)
+let path_weights t ~node ~dst =
+  if node = dst then [||]
+  else
+    let hops = next_hops t ~node ~dst in
+    Array.map (fun (peer, _) -> path_count t ~src:peer ~dst) hops

@@ -32,3 +32,10 @@ val path_count : t -> src:int -> dst:int -> int
 (** Number of distinct equal-cost shortest paths between two hosts.
     Memoized per [(src, dst)] until the next {!recompute} — it is called
     per flow by Themis-S setup. *)
+
+val path_weights : t -> node:int -> dst:int -> int array
+(** Per-next-hop shortest-path multiplicities at [node] towards [dst],
+    aligned with {!next_hops} and summing to [path_count ~src:node ~dst].
+    Spritz sprays proportionally to these weights so each downstream
+    path receives equal expected load even under asymmetric topologies
+    (post-failure path-count asymmetry). *)

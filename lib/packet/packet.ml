@@ -22,6 +22,10 @@ type t = {
   mutable retransmission : bool;
   mutable birth : Sim_time.t;
   mutable pooled : bool;
+  (* Entropy echo (REPS): on ACK/NACK, the udp_sport the acknowledged
+     data packet carried, and whether it arrived CE-marked.  -1 = none. *)
+  mutable entropy_echo : int;
+  mutable ecn_echo : bool;
 }
 
 let uid_counter = ref 0
@@ -51,6 +55,8 @@ let data ~conn ?conn_id ~sport ~psn ~payload ~last_of_msg
     retransmission;
     birth;
     pooled = false;
+    entropy_echo = -1;
+    ecn_echo = false;
   }
 
 let control ~conn ?conn_id ~sport ~kind ~size ~birth () =
@@ -67,6 +73,8 @@ let control ~conn ?conn_id ~sport ~kind ~size ~birth () =
     retransmission = false;
     birth;
     pooled = false;
+    entropy_echo = -1;
+    ecn_echo = false;
   }
 
 let ack ~conn ~sport ~psn ~birth =

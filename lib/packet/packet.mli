@@ -48,6 +48,13 @@ type t = {
   mutable retransmission : bool;
   mutable birth : Sim_time.t;
   mutable pooled : bool;  (** Private to {!Packet_pool}. *)
+  mutable entropy_echo : int;
+      (** On ACK/NACK: the [udp_sport] entropy the acknowledged data
+          packet carried, echoed back so the source ToR's REPS/PRIME
+          state learns which entropies map to clean paths.  [-1] when
+          absent (data packets, legacy control paths). *)
+  mutable ecn_echo : bool;
+      (** On ACK/NACK: whether the echoed data packet arrived CE-marked. *)
 }
 
 val data :

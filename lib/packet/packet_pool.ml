@@ -68,6 +68,8 @@ let data ~conn ?conn_id ~sport ~psn ~payload ~last_of_msg
     p.ecn <- Headers.Ect;
     p.retransmission <- retransmission;
     p.birth <- birth;
+    p.entropy_echo <- -1;
+    p.ecn_echo <- false;
     p
   end
   else begin
@@ -90,6 +92,8 @@ let reuse_control p ~conn ~conn_id ~sport ~size ~birth =
   p.ecn <- Headers.Not_ect;
   p.retransmission <- false;
   p.birth <- birth;
+  p.entropy_echo <- -1;
+  p.ecn_echo <- false;
   p
 
 let ack ~conn ~conn_id ~sport ~psn ~birth =

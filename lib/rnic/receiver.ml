@@ -25,6 +25,7 @@ type t = {
   mutable delivered_bytes : int;
   mutable dups : int;
   mutable ooo_dropped : int;
+  mutable ooo_arrivals : int;
   mutable nacks_sent : int;
   mutable acks_sent : int;
 }
@@ -44,6 +45,7 @@ let create ~mode ~ack_coalesce ~actions =
     delivered_bytes = 0;
     dups = 0;
     ooo_dropped = 0;
+    ooo_arrivals = 0;
     nacks_sent = 0;
     acks_sent = 0;
   }
@@ -138,7 +140,10 @@ let on_data t ~seq ~payload ~last_of_msg =
     flush_ack t
   end
   else begin
-    (* Out of order: seq > ePSN. *)
+    (* Out of order: seq > ePSN.  Counted in every mode: this is the
+       wire-level reordering signal the LB-scheme arena gates on
+       (Sprinklers must keep it at zero on symmetric paths). *)
+    t.ooo_arrivals <- t.ooo_arrivals + 1;
     match t.mode with
     | Gbn ->
         t.ooo_dropped <- t.ooo_dropped + 1;
@@ -162,6 +167,7 @@ let epsn t = t.epsn
 let delivered_bytes t = t.delivered_bytes
 let duplicate_packets t = t.dups
 let ooo_dropped t = t.ooo_dropped
+let ooo_arrivals t = t.ooo_arrivals
 let nacks_sent t = t.nacks_sent
 let acks_sent t = t.acks_sent
 let ooo_buffered t = t.ooo_count

@@ -43,6 +43,10 @@ val duplicate_packets : t -> int
 val ooo_dropped : t -> int
 (** GBN only. *)
 
+val ooo_arrivals : t -> int
+(** Data packets that arrived with [seq > ePSN], in any mode — the
+    wire-level reordering count the LB-scheme arena gates on. *)
+
 val nacks_sent : t -> int
 val acks_sent : t -> int
 

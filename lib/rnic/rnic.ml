@@ -28,6 +28,11 @@ type rctx = {
   r_conn : Flow_id.t;
   r_conn_id : int;
   r_sport : int;
+  (* Entropy echo (REPS): the udp_sport / CE mark of the most recent
+     data arrival, stamped onto the ACK/NACK it triggers so the source
+     ToR can recycle clean entropies. *)
+  r_last_entropy : int ref;
+  r_last_ce : bool ref;
   mutable last_cnp : Sim_time.t;
   mutable cnps_tx : int;
 }
@@ -106,6 +111,12 @@ let receiver_mode = function
 
 let register_receiver t ~conn ~sport =
   let conn_id = Flow_id.intern conn in
+  let last_entropy = ref (-1) and last_ce = ref false in
+  let echo pkt =
+    pkt.Packet.entropy_echo <- !last_entropy;
+    pkt.Packet.ecn_echo <- !last_ce;
+    pkt
+  in
   let ctx =
     {
         recv =
@@ -117,19 +128,24 @@ let register_receiver t ~conn ~sport =
                 Receiver.send_ack =
                   (fun ~epsn ->
                     transmit_control t
-                      (Packet_pool.ack ~conn ~conn_id ~psn:(Psn.of_int epsn)
-                         ~sport ~birth:(Engine.now t.engine)));
+                      (echo
+                         (Packet_pool.ack ~conn ~conn_id ~psn:(Psn.of_int epsn)
+                            ~sport ~birth:(Engine.now t.engine))));
                 Receiver.send_nack =
                   (fun ~epsn ->
                     t.nacks_sent <- t.nacks_sent + 1;
                     transmit_control t
-                      (Packet_pool.nack ~conn ~conn_id ~epsn:(Psn.of_int epsn)
-                         ~sport ~birth:(Engine.now t.engine)));
+                      (echo
+                         (Packet_pool.nack ~conn ~conn_id
+                            ~epsn:(Psn.of_int epsn) ~sport
+                            ~birth:(Engine.now t.engine))));
                 Receiver.deliver = (fun ~bytes:_ -> ());
               };
       r_conn = conn;
       r_conn_id = conn_id;
       r_sport = sport;
+      r_last_entropy = last_entropy;
+      r_last_ce = last_ce;
       last_cnp = Sim_time.ns (-1_000_000_000);
       cnps_tx = 0;
     }
@@ -171,6 +187,10 @@ let on_data_packet t (pkt : Packet.t) psn payload last_of_msg =
     else unknown_qp t pkt
   in
   if pkt.Packet.ecn = Headers.Ce then maybe_cnp t ctx;
+  (* Stash the echo before on_data: ACK/NACK closures fire synchronously
+     inside it and must carry this packet's entropy. *)
+  ctx.r_last_entropy := pkt.Packet.udp_sport;
+  ctx.r_last_ce := pkt.Packet.ecn = Headers.Ce;
   let seq = Psn.unwrap ~near:(Receiver.epsn ctx.recv) psn in
   Receiver.on_data ctx.recv ~seq ~payload ~last_of_msg
 
@@ -272,6 +292,11 @@ let data_packets_received t = t.data_rx
 
 let receivers t =
   Flow_id.Table.fold (fun conn ctx acc -> (conn, ctx.recv) :: acc) t.receivers []
+
+let ooo_arrivals t =
+  Flow_id.Table.fold
+    (fun _ ctx acc -> acc + Receiver.ooo_arrivals ctx.recv)
+    t.receivers 0
 
 let receiver t ~conn =
   Option.map (fun ctx -> ctx.recv) (Flow_id.Table.find_opt t.receivers conn)

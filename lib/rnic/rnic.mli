@@ -77,3 +77,7 @@ val receivers : t -> (Flow_id.t * Receiver.t) list
     end-of-run invariant checks (gapless ePSN, empty OOO buffer). *)
 
 val receiver : t -> conn:Flow_id.t -> Receiver.t option
+
+val ooo_arrivals : t -> int
+(** Sum of {!Receiver.ooo_arrivals} over every receive context on this
+    NIC — the reordering count the LB-scheme arena gates on. *)

@@ -4,6 +4,10 @@ type scheme =
   | Random_spray
   | Psn_spray_only
   | Themis of { compensation : bool }
+  | Reps
+  | Prime
+  | Sprinklers
+  | Spritz
 
 let scheme_to_string = function
   | Ecmp -> "ecmp"
@@ -12,6 +16,10 @@ let scheme_to_string = function
   | Psn_spray_only -> "psn-spray-only"
   | Themis { compensation = true } -> "themis"
   | Themis { compensation = false } -> "themis-nocomp"
+  | Reps -> "reps"
+  | Prime -> "prime"
+  | Sprinklers -> "sprinklers"
+  | Spritz -> "spritz"
 
 let scheme_of_string = function
   | "ecmp" -> Ok Ecmp
@@ -20,6 +28,10 @@ let scheme_of_string = function
   | "psn-spray-only" -> Ok Psn_spray_only
   | "themis" -> Ok (Themis { compensation = true })
   | "themis-nocomp" -> Ok (Themis { compensation = false })
+  | "reps" -> Ok Reps
+  | "prime" -> Ok Prime
+  | "sprinklers" -> Ok Sprinklers
+  | "spritz" -> Ok Spritz
   | s -> Error (Printf.sprintf "unknown scheme %S" s)
 
 type params = {
@@ -78,6 +90,10 @@ let lb_of_scheme = function
       (* Data packets are steered by Themis-S; the policy below only
          applies to control packets and after a failure fallback. *)
       Lb_policy.Ecmp
+  | Reps -> Lb_policy.Reps
+  | Prime -> Lb_policy.Prime
+  | Sprinklers -> Lb_policy.Sprinklers
+  | Spritz -> Lb_policy.Spritz
 
 (* Last-hop RTT bound for sizing the Themis-D ring: two propagation
    delays plus a data and a control serialization time (control packets
@@ -177,7 +193,9 @@ let build (params : params) =
           Switch.set_themis sw ~s:(Some themis_s) ~d:(Some themis_d))
         fabric.Leaf_spine.leaves;
       t.themis_active <- true
-  | Ecmp | Adaptive | Random_spray | Psn_spray_only -> ());
+  | Ecmp | Adaptive | Random_spray | Psn_spray_only | Reps | Prime
+  | Sprinklers | Spritz ->
+      ());
   (* Wiring: one Port per link direction.  The delivery target is
      resolved here, once per port, so per-packet delivery is a direct
      call instead of a hashtable lookup per hop. *)
@@ -360,6 +378,28 @@ let fail_link ?(mode = `Fallback_ecmp) t ~link_id =
 
 let themis_active t = t.themis_active
 
+(* Adversarial-path scenario: derate every leaf<->spine link of one
+   spine (both directions), leaving topology and routing untouched —
+   the paths survive but serialize slower, which is exactly the
+   asymmetry that breaks load-oblivious spraying. *)
+let set_spine_rate t ~spine ~gbps =
+  let topo = t.fabric.Leaf_spine.topo in
+  if spine < 0 || spine >= Array.length t.fabric.Leaf_spine.spines then
+    invalid_arg "Network.set_spine_rate: spine index out of range";
+  let spine_node = t.fabric.Leaf_spine.spines.(spine) in
+  let rate = Rate.gbps (float_of_int gbps) in
+  Array.iter
+    (fun leaf ->
+      match Topology.link_between topo leaf spine_node with
+      | None -> ()
+      | Some link_id -> (
+          match Hashtbl.find_opt t.link_ports link_id with
+          | Some (pab, pba) ->
+              Port.set_bandwidth pab rate;
+              Port.set_bandwidth pba rate
+          | None -> ()))
+    t.fabric.Leaf_spine.leaves
+
 (* Transient failure recovery: bring a failed link back.  The Themis
    middleware is NOT re-enabled — the paper's fallback is one-way until
    the operator re-arms it — but ECMP routing reconverges so flows can
@@ -426,6 +466,7 @@ let total_retx_packets t = sum_nics t Rnic.retx_packets_sent
 let total_nacks_generated t = sum_nics t Rnic.nacks_sent
 let total_nacks_delivered t = sum_nics t Rnic.nacks_received
 let total_cnps t = sum_nics t Rnic.cnps_sent
+let total_ooo_arrivals t = sum_nics t Rnic.ooo_arrivals
 
 let sum_switches t f = Hashtbl.fold (fun _ sw acc -> acc + f sw) t.switches 0
 

@@ -11,6 +11,11 @@ type scheme =
   | Themis of { compensation : bool }
       (** Themis-S + Themis-D on every ToR (full system when
           [compensation]). *)
+  | Reps  (** Recycled entropy spraying ({!Lb_policy.Reps}). *)
+  | Prime  (** Multi-part entropy ({!Lb_policy.Prime}). *)
+  | Sprinklers
+      (** Reordering-free variable-size striping ({!Lb_policy.Sprinklers}). *)
+  | Spritz  (** Path-aware weighted spraying ({!Lb_policy.Spritz}). *)
 
 val scheme_to_string : scheme -> string
 val scheme_of_string : string -> (scheme, string) result
@@ -92,6 +97,13 @@ val fail_link :
 
 val themis_active : t -> bool
 
+val set_spine_rate : t -> spine:int -> gbps:int -> unit
+(** Derate both directions of every leaf<->spine link of the [spine]-th
+    spine (index into the fabric's spine array) — the persistently
+    congested / asymmetric-link-speed arena scenarios.  Topology and
+    routing are untouched: the paths stay up, they just serialize
+    slower. *)
+
 val restore_link : t -> link_id:int -> unit
 (** Bring a previously failed link back up and reconverge routing.  The
     Themis middleware stays in whatever fallback state {!fail_link} left
@@ -118,3 +130,8 @@ val total_nacks_delivered : t -> int  (* reaching senders *)
 val total_cnps : t -> int
 val total_buffer_drops : t -> int
 val total_ecn_marks : t -> int
+
+val total_ooo_arrivals : t -> int
+(** Sum of out-of-order data arrivals over every receive context — the
+    reordering metric the arena report and the Sprinklers zero-OOO gate
+    read. *)

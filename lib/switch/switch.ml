@@ -38,12 +38,19 @@ type t = {
      routing generation the rows were compiled against; a mismatch
      wipes them (link failure / restore). *)
   next_ports : Port.t array option array;
+  (* Per-destination path-multiplicity rows (Routing.path_weights),
+     compiled alongside [next_ports] and invalidated with them; consumed
+     by the Spritz policy. *)
+  next_weights : int array option array;
   mutable fwd_gen : int;
   (* Reusable load closure for load-aware policies: [load_ports] is set
      to the current candidate row just before [Lb_policy.choose_at], so
      no closure is allocated per packet. *)
   mutable load_ports : Port.t array;
   mutable load_fn : int -> int;
+  (* Per-flow spraying state for the stateful arena policies; acts only
+     for flows whose sender is attached here (the source ToR). *)
+  lb_state : Lb_state.t;
   mutable themis_s : Themis_s.t option;
   mutable themis_d : Themis_d.t option;
   mutable upstream : Port.t list;
@@ -124,6 +131,7 @@ and attach_port t ~link_id ~peer port =
   Hashtbl.replace t.ports link_id (port, peer);
   (* New wiring invalidates any rows compiled before this port existed. *)
   Array.fill t.next_ports 0 (Array.length t.next_ports) None;
+  Array.fill t.next_weights 0 (Array.length t.next_weights) None;
   let peer_is_host = Topology.is_host t.topo peer in
   if peer_is_host then Bytes.set t.local_hosts peer '\001';
   (* Release shared-buffer bytes as packets leave the queue; on the last
@@ -186,12 +194,14 @@ let compile_ports t dst =
       cands
   in
   t.next_ports.(dst) <- Some ports;
+  t.next_weights.(dst) <- Some (Routing.path_weights t.routing ~node:t.node ~dst);
   ports
 
 let candidate_ports t dst =
   let gen = Routing.generation t.routing in
   if gen <> t.fwd_gen then begin
     Array.fill t.next_ports 0 (Array.length t.next_ports) None;
+    Array.fill t.next_weights 0 (Array.length t.next_weights) None;
     t.fwd_gen <- gen
   end;
   if dst >= 0 && dst < Array.length t.next_ports then
@@ -205,6 +215,12 @@ let candidate_ports t dst =
       (Routing.next_hops t.routing ~node:t.node ~dst)
 
 let compiled_next_ports t ~dst = candidate_ports t dst
+
+let compiled_path_weights t ~dst =
+  ignore (candidate_ports t dst);
+  match t.next_weights.(dst) with Some w -> w | None -> [||]
+
+let lb_state t = t.lb_state
 
 let enqueue_on t port (pkt : Packet.t) =
   if
@@ -244,7 +260,25 @@ let enqueue_on t port (pkt : Packet.t) =
     Packet_pool.release pkt
   end
 
+(* ACK/NACK-borne entropy echo: a control packet being forwarded to a
+   locally attached host is returning to its flow's sender, i.e. this
+   switch is the source ToR whose spraying state the echo feeds. *)
+let policy_feedback t (pkt : Packet.t) =
+  match (t.cfg.lb, pkt.Packet.kind) with
+  | (Lb_policy.Reps | Lb_policy.Prime), (Packet.Ack _ | Packet.Nack _)
+    when pkt.Packet.entropy_echo >= 0 && is_local_host t pkt.Packet.dst_node
+    -> (
+      match t.cfg.lb with
+      | Lb_policy.Reps ->
+          Lb_state.reps_feedback t.lb_state ~conn_id:pkt.Packet.conn_id
+            ~entropy:pkt.Packet.entropy_echo ~ce:pkt.Packet.ecn_echo
+      | _ ->
+          Lb_state.prime_feedback t.lb_state ~conn_id:pkt.Packet.conn_id
+            ~ce:pkt.Packet.ecn_echo)
+  | _, _ -> ()
+
 let forward t (pkt : Packet.t) =
+  policy_feedback t pkt;
   let ports = candidate_ports t pkt.Packet.dst_node in
   let n = Array.length ports in
   if n = 0 then begin
@@ -273,10 +307,27 @@ let forward t (pkt : Packet.t) =
         in
         match themis_choice with
         | Some i -> i
-        | None ->
+        | None -> (
             t.load_ports <- ports;
-            Lb_policy.choose_at ~shift:t.cfg.ecmp_shift t.cfg.lb ~rng:t.rng
-              ~pkt ~n ~load:t.load_fn
+            (* The stateful rivals act only at the flow's source ToR;
+               everywhere else they degrade to ECMP hashing of the
+               (possibly rewritten) entropy field inside [choose_at]. *)
+            match t.cfg.lb with
+            | (Lb_policy.Reps | Lb_policy.Prime | Lb_policy.Sprinklers)
+              when is_local_host t pkt.Packet.src_node ->
+                Lb_policy.choose_at ~shift:t.cfg.ecmp_shift ~state:t.lb_state
+                  t.cfg.lb ~rng:t.rng ~pkt ~n ~load:t.load_fn
+            | Lb_policy.Spritz when is_local_host t pkt.Packet.src_node -> (
+                match t.next_weights.(pkt.Packet.dst_node) with
+                | Some w ->
+                    Lb_policy.choose_at ~shift:t.cfg.ecmp_shift ~weights:w
+                      t.cfg.lb ~rng:t.rng ~pkt ~n ~load:t.load_fn
+                | None ->
+                    Lb_policy.choose_at ~shift:t.cfg.ecmp_shift t.cfg.lb
+                      ~rng:t.rng ~pkt ~n ~load:t.load_fn)
+            | _ ->
+                Lb_policy.choose_at ~shift:t.cfg.ecmp_shift t.cfg.lb ~rng:t.rng
+                  ~pkt ~n ~load:t.load_fn)
     in
     enqueue_on t ports.(idx) pkt
   end
@@ -319,9 +370,11 @@ let create ~engine ~topo ~routing ~node ~config ~rng =
     ports = Hashtbl.create 8;
     local_hosts = Bytes.make (Topology.node_count topo) '\000';
     next_ports = Array.make (Topology.node_count topo) None;
+    next_weights = Array.make (Topology.node_count topo) None;
     fwd_gen = Routing.generation routing;
     load_ports = [||];
     load_fn = (fun _ -> 0);
+    lb_state = Lb_state.create ();
     themis_s = None;
     themis_d = None;
     upstream = [];

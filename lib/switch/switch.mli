@@ -107,3 +107,15 @@ val compiled_next_ports : t -> dst:int -> Port.t array
     stale or absent — in [Routing.next_hops] order.  Exposed for the
     route-cache invalidation tests; raises like {!Routing.next_hops}
     on a non-host [dst]. *)
+
+val compiled_path_weights : t -> dst:int -> int array
+(** The compiled {!Routing.path_weights} row for [dst], aligned with
+    {!compiled_next_ports} — the Spritz spraying weights.  Recompiled
+    with the port rows on wiring/routing changes, so after a link fails
+    and routing recomputes, the weights track the surviving path
+    counts. *)
+
+val lb_state : t -> Lb_state.t
+(** The switch's per-flow spraying state (REPS entropy cache, PRIME
+    adaptive parts, Sprinklers stripes) — exposed for invariant
+    tests. *)

@@ -72,6 +72,7 @@ let storm_fault_spec ~(shape : Fuzz_spec.shape) ~seed ~ppm =
     schemes = [];
     transfers = [];
     link_faults = [];
+    slow_spine = None;
   }
 
 let schedule ~net ~(shape : Fuzz_spec.shape) ~seed compiled =

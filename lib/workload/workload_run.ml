@@ -85,6 +85,7 @@ let run ~scheme (spec : Workload_spec.t) : result =
   Packet.reset_uid_counter ();
   Packet_pool.reset ();
   Flow_id.reset_interner ();
+  Lb_state.reset_globals ();
   Telemetry.disable ();
   let fabric = fabric_of_shape spec.Workload_spec.shape in
   let params =

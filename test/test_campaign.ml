@@ -63,7 +63,7 @@ let gen_spec =
     let* name = oneofl [ "quick"; "night-7"; "a_b"; "x0" ] in
     let* target =
       oneofl
-        Campaign_spec.[ Fig1; Fig5; Incast; Ablation; Fuzz_sweep; Workload ]
+        Campaign_spec.[ Fig1; Fig5; Incast; Ablation; Fuzz_sweep; Workload; Arena ]
     in
     let* fabrics = opt_axis gen_fabric in
     let* transports = opt_axis (oneofl transport_pool) in
@@ -75,6 +75,7 @@ let gen_spec =
     let* studies = opt_axis (oneofl Campaign_spec.studies_known) in
     let* wnames = opt_axis (oneofl wname_pool) in
     let* loads = opt_axis (int_range 1 200) in
+    let* scens = opt_axis (oneofl Arena_scen.known) in
     let* profile = oneofl [ "quick"; "soak" ] in
     let* seeds = nonempty_axis (int_range 0 9999) in
     return
@@ -91,6 +92,7 @@ let gen_spec =
         studies;
         wnames;
         loads;
+        scens;
         profile;
         seeds;
       })
@@ -173,6 +175,8 @@ let frozen_hashes =
     ("cj1;ablation;study=compensation;seed=5", "3efc36d37b5e9329");
     ("cj1;fuzz;profile=quick;seed=1", "cc72a2a5a6c0418d");
     ("cj1;workload;wl=mix;scheme=themis;load=30;seed=21", "615cb165879f6650");
+    ("cj1;arena;scheme=themis;scen=sym;seed=31", "d43ca30a36a3957d");
+    ("cj1;arena;scheme=sprinklers;scen=cspine;seed=31", "d08bf234fef6d953");
   ]
 
 let test_frozen_hashes () =
@@ -380,6 +384,35 @@ let test_intern_reset_at_job_boundary () =
   check_bool "id assignment identical across jobs" true (snap1 = snap2);
   List.iteri (fun i (id, _) -> check_int "dense id" i id) snap2
 
+(* Arena cells run a whole fuzz scenario per job — scheme state (REPS
+   caches, Sprinklers stripes) lives in Lb_state globals, so this is the
+   test that the with_fresh_context reset covers them: a forked worker
+   starts pristine, a serial worker inherits whatever the previous cell
+   left behind, and the bytes must still match. *)
+let test_arena_pool_byte_identity () =
+  let jobs =
+    List.map
+      (fun ascheme ->
+        Campaign_spec.Arena_job { ascheme; ascen = "sym"; aseed = 31 })
+      [ "reps"; "sprinklers" ]
+  in
+  let serial = Campaign_store.open_ ~dir:(fresh_dir "arena-serial") in
+  let forked = Campaign_store.open_ ~dir:(fresh_dir "arena-forked") in
+  let s_sum = Campaign_pool.run ~workers:1 ~store:serial jobs in
+  let f_sum = Campaign_pool.run ~workers:2 ~store:forked jobs in
+  check_bool "serial clean" true (Campaign_pool.ok s_sum);
+  check_bool "forked clean" true (Campaign_pool.ok f_sum);
+  let hs = Campaign_store.list serial and hf = Campaign_store.list forked in
+  check_int "same result set" (List.length hs) (List.length hf);
+  List.iter2
+    (fun a b ->
+      spec "same hash" a b;
+      spec
+        (Printf.sprintf "bytes of %s" a)
+        (Option.get (Campaign_store.raw_bytes serial a))
+        (Option.get (Campaign_store.raw_bytes forked b)))
+    hs hf
+
 let test_pool_warm_rerun () =
   let _, forked, _, _ = Lazy.force mini in
   let again = Campaign_pool.run ~workers:2 ~store:forked mini_jobs in
@@ -502,6 +535,8 @@ let () =
         [
           Alcotest.test_case "2 workers byte-identical to serial" `Quick
             test_pool_byte_identity;
+          Alcotest.test_case "arena byte-identical to serial" `Quick
+            test_arena_pool_byte_identity;
           Alcotest.test_case "warm rerun: 100% cached" `Quick
             test_pool_warm_rerun;
           Alcotest.test_case "hash dedupe" `Quick test_pool_dedupe;

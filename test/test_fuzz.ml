@@ -33,6 +33,7 @@ let tiny_spec =
         { Fuzz_spec.src = 3; dst = 1; bytes = 4_500; start_ns = 1_000 };
       ];
     link_faults = [];
+    slow_spine = None;
   }
 
 (* to_string/of_string is an exact inverse on every generated spec. *)

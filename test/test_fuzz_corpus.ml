@@ -61,6 +61,44 @@ let corpus =
        jit=0;drop=0;corr=0;dup=0;dly=0:0;fmode=shrink;dl=2000000000;\
        schemes=ecmp+spray+ar+themis;flows=0>2:200000@5000,2>1:150000@9000,\
        3>0:180000@7000;faults=8:12000:0" );
+    (* Rival sprayers under the same link-down-mid-flow scenario as the
+       Themis entry above: each policy's behavioural oracle (REPS never
+       recycles tainted entropy; Sprinklers stays reordering-free where
+       that is asserted; Spritz weights track the live path count across
+       the rebuild) must hold while routing reconverges around the
+       failure. *)
+    ( "reps link-down mid-flow, entropy cache vs rerouting",
+      "fz1;seed=11;shape=ls:2:4:2:100:100:1000;tr=sr;qf=100;ppcap=9216;\
+       jit=0;drop=0;corr=0;dup=0;dly=0:0;fmode=shrink;dl=2000000000;\
+       schemes=reps;flows=0>2:200000@5000,2>1:150000@9000,\
+       3>0:180000@7000;faults=8:12000:0" );
+    ( "prime link-down mid-flow, adaptive part vs rerouting",
+      "fz1;seed=11;shape=ls:2:4:2:100:100:1000;tr=sr;qf=100;ppcap=9216;\
+       jit=0;drop=0;corr=0;dup=0;dly=0:0;fmode=shrink;dl=2000000000;\
+       schemes=prime;flows=0>2:200000@5000,2>1:150000@9000,\
+       3>0:180000@7000;faults=8:12000:0" );
+    ( "sprinklers link-down mid-flow, stripes vs rerouting",
+      "fz1;seed=11;shape=ls:2:4:2:100:100:1000;tr=sr;qf=100;ppcap=9216;\
+       jit=0;drop=0;corr=0;dup=0;dly=0:0;fmode=shrink;dl=2000000000;\
+       schemes=sprinklers;flows=0>2:200000@5000,2>1:150000@9000,\
+       3>0:180000@7000;faults=8:12000:0" );
+    ( "spritz link-down mid-flow, weights track path count",
+      "fz1;seed=11;shape=ls:2:4:2:100:100:1000;tr=sr;qf=100;ppcap=9216;\
+       jit=0;drop=0;corr=0;dup=0;dly=0:0;fmode=shrink;dl=2000000000;\
+       schemes=spritz;flows=0>2:200000@5000,2>1:150000@9000,\
+       3>0:180000@7000;faults=8:12000:0" );
+    (* Persistently congested spine (spine 0 derated 100G -> 20G) under
+       Themis: skew-induced reordering by the hundreds, so Eq. 3 must
+       block the spurious NACK storm while the delivery oracles still
+       hold — the arena's cspine scenario (Arena_scen, seed 31, where
+       Themis blocks ~330 spurious NACKs), frozen as a one-line
+       reproducer. *)
+    ( "themis congested spine, nack blocking under skew",
+      "fz1;seed=31;shape=ls:2:4:4:25:100:1000;tr=sr;qf=200;ppcap=256;\
+       jit=0;drop=0;corr=0;dup=0;dly=0:1;fmode=shrink;dl=20000000;\
+       schemes=themis;flows=0>4:300000@0,1>5:300000@1000,2>6:300000@2000,\
+       3>7:300000@3000,4>0:300000@4000,5>1:300000@5000,6>2:300000@6000,\
+       7>3:300000@7000;faults=;sspine=0:20" );
     (* Duplicates + corruption + drops on a single-path fabric with GBN:
        exercises the receiver's duplicate/ooo handling when every
        duplicate is in-order-plausible. *)

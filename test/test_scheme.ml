@@ -14,6 +14,10 @@ let all_schemes =
     Network.Psn_spray_only;
     Network.Themis { compensation = true };
     Network.Themis { compensation = false };
+    Network.Reps;
+    Network.Prime;
+    Network.Sprinklers;
+    Network.Spritz;
   ]
 
 let test_roundtrip () =
@@ -40,6 +44,35 @@ let test_unknown_rejected () =
   | Ok _ -> Alcotest.fail "nonsense string parsed"
   | Error _ -> ()
 
+(* Spritz sprays in proportion to downstream path counts, so the
+   compiled weight rows at a ToR must sum to the live path count toward
+   a cross-leaf destination — and track it through fail/restore. *)
+let test_spritz_weights_track_failures () =
+  let params =
+    Network.default_params ~fabric:Leaf_spine.motivation ~scheme:Network.Spritz
+  in
+  let net = Network.build params in
+  let ls = Network.fabric net in
+  let tor0 = ls.Leaf_spine.leaves.(0) in
+  let dst = Leaf_spine.host ls ~leaf:1 ~index:0 in
+  let sum () =
+    Array.fold_left ( + ) 0
+      (Switch.compiled_path_weights (Network.switch net ~node:tor0) ~dst)
+  in
+  Alcotest.(check int) "full fabric" 4 (sum ());
+  let link =
+    Option.get
+      (Topology.link_between ls.Leaf_spine.topo tor0 ls.Leaf_spine.spines.(0))
+  in
+  Network.fail_link net ~link_id:link;
+  Alcotest.(check int)
+    "weights follow routing after failure"
+    (Routing.path_count (Network.routing net) ~src:tor0 ~dst)
+    (sum ());
+  Alcotest.(check int) "three surviving paths" 3 (sum ());
+  Network.restore_link net ~link_id:link;
+  Alcotest.(check int) "restored" 4 (sum ())
+
 let test_strings_distinct () =
   let strings = List.map Network.scheme_to_string all_schemes in
   Alcotest.(check int)
@@ -56,5 +89,10 @@ let () =
           Alcotest.test_case "aliases" `Quick test_aliases;
           Alcotest.test_case "unknown rejected" `Quick test_unknown_rejected;
           Alcotest.test_case "strings distinct" `Quick test_strings_distinct;
+        ] );
+      ( "spritz",
+        [
+          Alcotest.test_case "weights track fail/restore" `Quick
+            test_spritz_weights_track_failures;
         ] );
     ]
