@@ -1,0 +1,288 @@
+(* Sharded-simulation benchmark and smoke check (DESIGN.md §14).
+
+   Modes:
+
+     --smoke       2-domain identity check on a small fabric: runs one
+                   spec serially and sharded, asserts the canonical
+                   outcomes are byte-identical, exits non-zero on any
+                   mismatch.  Gates `make check` without distorting CI
+                   wall time.
+
+     --debug SPEC SCHEME SHARDS
+                   Field-by-field comparison of the serial and sharded
+                   telemetry summaries plus the first diverging
+                   canonical event line — the triage tool for identity
+                   regressions.
+
+     (default)     Wall-clock events/s of the same spec at 1, 2 and 4
+                   domains (vs the plain serial engine), merged into
+                   BENCH_engine.json under a "shard" key so the scaling
+                   curve is tracked PR-over-PR. *)
+
+let out_path = ref "BENCH_engine.json"
+let smoke = ref false
+let debug_args = ref []
+
+let usage = "shard_bench [--smoke] [--debug SPEC SCHEME SHARDS] [--out PATH]"
+
+let spec_of_string_exn s =
+  match Fuzz_spec.of_string s with
+  | Ok spec -> spec
+  | Error e ->
+      Printf.eprintf "bad spec: %s\n%!" e;
+      exit 2
+
+(* The benchmark workload: an 8-leaf permutation with enough bytes in
+   flight to keep every shard busy, no faults, both directions loaded.
+   Kept clean (ppm = 0) so it doubles as an identity scenario. *)
+let bench_spec =
+  "fz1;seed=42;shape=ls:8:4:2:100:100:1000;tr=sr;qf=100;ppcap=256;jit=0;\
+   drop=0;corr=0;dup=0;dly=0:0;fmode=ecmp;dl=8000000000;schemes=spray;\
+   flows=0>9:400000@0,9>2:400000@0,2>11:400000@0,11>4:400000@0,\
+   4>13:400000@0,13>6:400000@0,6>15:400000@0,15>0:400000@0,\
+   1>8:400000@0,8>3:400000@0,3>10:400000@0,10>5:400000@0,\
+   5>12:400000@0,12>7:400000@0,7>14:400000@0,14>1:400000@0;faults="
+
+let smoke_spec =
+  "fz1;seed=7;shape=ls:4:3:2:100:100:1000;tr=sr;qf=100;ppcap=256;jit=0;\
+   drop=0;corr=0;dup=0;dly=0:0;fmode=ecmp;dl=2000000000;schemes=spray;\
+   flows=0>7:60000@0,7>2:45000@3000,2>5:30000@1500,5>0:20000@4500;faults="
+
+let summary_fields (s : Experiment.telemetry_summary) =
+  [
+    ("data_packets", float_of_int s.Experiment.tele_data_packets);
+    ("retx_packets", float_of_int s.Experiment.tele_retx_packets);
+    ("nacks_generated", float_of_int s.Experiment.tele_nacks_generated);
+    ("nacks_valid", float_of_int s.Experiment.tele_nacks_valid);
+    ("nacks_blocked", float_of_int s.Experiment.tele_nacks_blocked);
+    ("nacks_underflow", float_of_int s.Experiment.tele_nacks_underflow);
+    ("comp_sent", float_of_int s.Experiment.tele_comp_sent);
+    ("comp_cancelled", float_of_int s.Experiment.tele_comp_cancelled);
+    ("flows_completed", float_of_int s.Experiment.tele_flows_completed);
+    ("fct_p50_us", s.Experiment.tele_fct_p50_us);
+    ("fct_p99_us", s.Experiment.tele_fct_p99_us);
+    ("ecn_marks", float_of_int s.Experiment.tele_ecn_marks);
+    ("buffer_drops", float_of_int s.Experiment.tele_buffer_drops);
+    ("events", float_of_int s.Experiment.tele_events);
+    ("events_dropped", float_of_int s.Experiment.tele_events_dropped);
+  ]
+
+let first_diff_line a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i la lb =
+    match (la, lb) with
+    | [], [] -> None
+    | x :: _, [] -> Some (i, x, "<missing>")
+    | [], y :: _ -> Some (i, "<missing>", y)
+    | x :: la', y :: lb' ->
+        if x = y then go (i + 1) la' lb' else Some (i, x, y)
+  in
+  go 0 la lb
+
+(* Compare serial vs sharded on [spec]; print any divergence.  Returns
+   true when identical. *)
+let compare_runs ?(base = 0) spec ~scheme ~shards ~verbose =
+  (* [base = 0] compares against the plain serial engine; [base >= 1]
+     against a [base]-shard run (shard-count-invariance triage). *)
+  let serial =
+    if base = 0 then Fuzz_run.run_scheme spec ~scheme
+    else Shard_run.run_scheme spec ~scheme ~shards:base
+  in
+  let serial_csv = Shard_run.canonical_metrics_csv () in
+  let sharded, stats = Shard_run.run_scheme_full spec ~scheme ~shards in
+  let sharded_csv = Shard_run.canonical_metrics_csv () in
+  let ok = ref true in
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        ok := false;
+        Printf.printf "  MISMATCH %s\n%!" m)
+      fmt
+  in
+  (match (serial.Fuzz_run.o_summary, sharded.Fuzz_run.o_summary) with
+  | Some a, Some b ->
+      List.iter2
+        (fun (na, va) (nb, vb) ->
+          if verbose then
+            Printf.printf "  %-18s serial=%-14g sharded=%g%s\n" na va vb
+              (if va <> vb then "   <-- DIFF" else "");
+          if va <> vb then
+            if verbose then ok := false
+            else fail "%s: serial=%g sharded=%g" na va vb;
+          ignore nb)
+        (summary_fields a) (summary_fields b)
+  | a, b ->
+      fail "summary presence: serial=%b sharded=%b" (a <> None) (b <> None));
+  let viol o =
+    List.map
+      (fun v -> v.Fuzz_oracle.oracle ^ ": " ^ v.Fuzz_oracle.detail)
+      o.Fuzz_run.o_violations
+  in
+  if viol serial <> viol sharded then
+    fail "violations: serial=[%s] sharded=[%s]"
+      (String.concat "; " (viol serial))
+      (String.concat "; " (viol sharded));
+  let ca = Shard_run.canonical_events_jsonl serial
+  and cb = Shard_run.canonical_events_jsonl sharded in
+  (match first_diff_line ca cb with
+  | None -> ()
+  | Some (i, x, y) ->
+      fail "canonical events differ at line %d:\n    serial:  %s\n    sharded: %s"
+        i x y);
+  (match first_diff_line serial_csv sharded_csv with
+  | None -> ()
+  | Some (i, x, y) ->
+      fail "canonical metrics differ at row %d:\n    serial:  %s\n    sharded: %s"
+        i x y);
+  if serial.Fuzz_run.o_drops <> sharded.Fuzz_run.o_drops then
+    fail "drops: serial=%d sharded=%d" serial.Fuzz_run.o_drops
+      sharded.Fuzz_run.o_drops;
+  if serial.Fuzz_run.o_ooo <> sharded.Fuzz_run.o_ooo then
+    fail "ooo: serial=%d sharded=%d" serial.Fuzz_run.o_ooo
+      sharded.Fuzz_run.o_ooo;
+  if verbose then
+    Printf.printf "  sharded events=%d spilled=%d\n%!" stats.Shard_run.st_events
+      stats.Shard_run.st_spilled;
+  !ok
+
+let base = ref 0
+let only = ref false
+
+let run_debug spec_s scheme shards =
+  if !only then begin
+    (* Run ONLY the sharded side (no baseline) — for collecting
+       separated instrumentation streams per shard count. *)
+    let spec = spec_of_string_exn spec_s in
+    let o = Shard_run.run_scheme spec ~scheme ~shards in
+    Printf.printf "only: shards=%d violations=%d\n%!" shards
+      (List.length o.Fuzz_run.o_violations);
+    exit 0
+  end;
+  let spec = spec_of_string_exn spec_s in
+  Printf.printf "debug: scheme=%s shards=%d base=%d\n%!" scheme shards !base;
+  let ok = compare_runs ~base:!base spec ~scheme ~shards ~verbose:true in
+  Printf.printf (if ok then "IDENTICAL\n" else "DIVERGED\n");
+  exit (if ok then 0 else 1)
+
+let run_smoke () =
+  let spec = spec_of_string_exn smoke_spec in
+  let ok = compare_runs spec ~scheme:"spray" ~shards:2 ~verbose:false in
+  if ok then (
+    Printf.printf "shard smoke: serial == 2-shard identical\n%!";
+    exit 0)
+  else (
+    Printf.printf "shard smoke: DIVERGED\n%!";
+    exit 1)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let run_bench () =
+  let spec = spec_of_string_exn bench_spec in
+  let scheme = "spray" in
+  (* Serial reference: the plain engine with no ring machinery. *)
+  let serial, serial_wall = time (fun () -> Fuzz_run.run_scheme spec ~scheme) in
+  ignore serial;
+  let domain_counts = [ 1; 2; 4 ] in
+  let rows =
+    List.map
+      (fun shards ->
+        let (o, stats), wall =
+          time (fun () -> Shard_run.run_scheme_full spec ~scheme ~shards)
+        in
+        if o.Fuzz_run.o_violations <> [] then (
+          Printf.eprintf "bench spec violated oracles at %d shards\n%!" shards;
+          exit 1);
+        let eps = float_of_int stats.Shard_run.st_events /. wall in
+        Printf.printf "shards=%d  events=%d  wall=%.3fs  events/s=%.0f  \
+                       spilled=%d\n%!"
+          shards stats.Shard_run.st_events wall eps stats.Shard_run.st_spilled;
+        (shards, stats, wall, eps))
+      domain_counts
+  in
+  Printf.printf "serial  wall=%.3fs (no ring machinery)\n%!" serial_wall;
+  (* Merge a "shard" object into BENCH_engine.json (engine_bench owns
+     the rest of the file; missing or unparsable files start fresh). *)
+  let shard_json =
+    Campaign_json.Obj
+      [
+        ("spec_seed", Campaign_json.Num 42.);
+        ("scheme", Campaign_json.Str scheme);
+        (* Scaling is only meaningful when the host can actually run the
+           domains in parallel; record the core count the numbers were
+           taken on so a 1-core CI box's slowdown isn't misread. *)
+        ( "recommended_domains",
+          Campaign_json.Num (float_of_int (Domain.recommended_domain_count ()))
+        );
+        ("serial_wall_s", Campaign_json.Num serial_wall);
+        ( "domains",
+          Campaign_json.List
+            (List.map
+               (fun (shards, stats, wall, eps) ->
+                 Campaign_json.Obj
+                   [
+                     ("shards", Campaign_json.Num (float_of_int shards));
+                     ( "events",
+                       Campaign_json.Num
+                         (float_of_int stats.Shard_run.st_events) );
+                     ("wall_s", Campaign_json.Num wall);
+                     ("events_per_sec", Campaign_json.Num eps);
+                     ( "spilled",
+                       Campaign_json.Num
+                         (float_of_int stats.Shard_run.st_spilled) );
+                   ])
+               rows) );
+      ]
+  in
+  let existing =
+    if Sys.file_exists !out_path then (
+      let ic = open_in_bin !out_path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Campaign_json.of_string s with
+      | Ok (Campaign_json.Obj fields) ->
+          List.filter (fun (k, _) -> k <> "shard") fields
+      | _ -> [])
+    else []
+  in
+  let doc = Campaign_json.Obj (existing @ [ ("shard", shard_json) ]) in
+  let oc = open_out !out_path in
+  output_string oc (Campaign_json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" !out_path
+
+let () =
+  let args =
+    Arg.align
+      [
+        ("--smoke", Arg.Set smoke, " identity smoke check (2 domains)");
+        ( "--debug",
+          Arg.Tuple
+            [
+              Arg.String (fun s -> debug_args := [ s ]);
+              Arg.String (fun s -> debug_args := !debug_args @ [ s ]);
+              Arg.String (fun s -> debug_args := !debug_args @ [ s ]);
+            ],
+          "SPEC SCHEME SHARDS field-by-field divergence triage" );
+        ("--out", Arg.Set_string out_path, "PATH output JSON (default BENCH_engine.json)");
+        ( "--base",
+          Arg.Set_int base,
+          "N debug baseline: 0 = serial engine (default), N >= 1 = N-shard run" );
+        ("--only", Arg.Set only, " with --debug: run only the sharded side");
+      ]
+  in
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  (* Benches and smoke force domain spawning: the scaling curve on a
+     single-core box is still a valid correctness run, just not a
+     speedup demonstration. *)
+  Unix.putenv Shard_part.force_env "1";
+  match !debug_args with
+  | [ spec_s; scheme; shards_s ] ->
+      run_debug spec_s scheme (int_of_string shards_s)
+  | _ :: _ ->
+      prerr_endline usage;
+      exit 2
+  | [] -> if !smoke then run_smoke () else run_bench ()

@@ -1,0 +1,52 @@
+(* Sense-reversing barrier with an integer flag reduction.
+
+   Every participant passes a bitset of local status flags; the barrier
+   ORs them and hands every participant the same combined word, so the
+   fleet makes lockstep decisions (any shard still active? all flows
+   done?) from identical information.  Mutex + Condition rather than a
+   spin barrier: shard counts can exceed the core count (they always do
+   on CI), and a spinning shard would starve the one doing work. *)
+
+type t = {
+  m : Mutex.t;
+  c : Condition.t;
+  parties : int;
+  mutable arrived : int;
+  mutable sense : bool;
+  mutable acc : int;  (* OR of flags in the current phase *)
+  mutable out : int;  (* combined flags of the last completed phase *)
+}
+
+let create parties =
+  if parties <= 0 then invalid_arg "Domain_barrier.create";
+  {
+    m = Mutex.create ();
+    c = Condition.create ();
+    parties;
+    arrived = 0;
+    sense = false;
+    acc = 0;
+    out = 0;
+  }
+
+let parties t = t.parties
+
+let await t ~flags =
+  Mutex.lock t.m;
+  let my_sense = t.sense in
+  t.acc <- t.acc lor flags;
+  t.arrived <- t.arrived + 1;
+  if t.arrived = t.parties then begin
+    t.out <- t.acc;
+    t.acc <- 0;
+    t.arrived <- 0;
+    t.sense <- not t.sense;
+    Condition.broadcast t.c
+  end
+  else
+    while t.sense = my_sense do
+      Condition.wait t.c t.m
+    done;
+  let combined = t.out in
+  Mutex.unlock t.m;
+  combined

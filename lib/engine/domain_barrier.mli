@@ -1,0 +1,18 @@
+(** Sense-reversing barrier over OCaml 5 domains, with an OR-reduction
+    of integer flags: all parties block until everyone has arrived, and
+    every party receives the bitwise OR of all the flags passed in.
+
+    Used by the sharded simulation's lockstep windows (DESIGN.md §14) so
+    every shard decides "keep running / all flows done / quiesced" from
+    the same combined word. *)
+
+type t
+
+val create : int -> t
+(** [create parties] — raises [Invalid_argument] unless [parties > 0]. *)
+
+val parties : t -> int
+
+val await : t -> flags:int -> int
+(** Block until all parties have called [await] for this phase; returns
+    the OR of every party's [flags].  Reusable (sense-reversing). *)

@@ -1,0 +1,109 @@
+(* Single-producer / single-consumer ring of fixed-stride int records.
+
+   One ring carries the cross-shard traffic of one (producer shard,
+   consumer shard) pair.  Records are flattened packets (see
+   Packet_wire); a record occupies [stride] consecutive slots of one
+   flat int array, so pushing and draining copy plain integers and
+   allocate nothing on the fast path.
+
+   Publication safety: [tail] is advanced with a release store after the
+   record's slots are written, and the consumer reads it with an acquire
+   load before touching the slots (OCaml [Atomic] operations are SC,
+   which is stronger than needed).  [head] is only written by the
+   consumer and only read by the producer, so each index has exactly one
+   writer and the ring needs no locks.  The [_pad] arrays keep the two
+   atomics out of the same cache line.
+
+   Overflow never blocks the producer (a blocked producer would deadlock
+   the lockstep barrier): when the ring is momentarily full the record
+   goes to a mutex-protected spill list instead.  The consumer empties
+   the spill when it drains.  Records carry their own producer sequence
+   number (assigned by the caller), so the barrier-time sort recovers
+   the exact push order no matter how records were split between the
+   ring and the spill. *)
+
+type t = {
+  slots : int array;
+  stride : int;
+  capacity : int;  (* records; power of two *)
+  mask : int;
+  head : int Atomic.t;  (* consumer cursor (records consumed) *)
+  _pad1 : int array;
+  tail : int Atomic.t;  (* producer cursor (records published) *)
+  _pad2 : int array;
+  spill_mu : Mutex.t;
+  mutable spill : int array list;  (* newest first; each is one record *)
+  mutable spilled : int;  (* total records ever spilled (producer+consumer sync via mutex) *)
+}
+
+let create ?(capacity = 1 lsl 12) ~stride () =
+  if stride <= 0 then invalid_arg "Spsc_ring.create: stride must be positive";
+  if capacity <= 0 || capacity land (capacity - 1) <> 0 then
+    invalid_arg "Spsc_ring.create: capacity must be a positive power of two";
+  {
+    slots = Array.make (capacity * stride) 0;
+    stride;
+    capacity;
+    mask = capacity - 1;
+    head = Atomic.make 0;
+    _pad1 = Array.make 15 0;
+    tail = Atomic.make 0;
+    _pad2 = Array.make 15 0;
+    spill_mu = Mutex.create ();
+    spill = [];
+    spilled = 0;
+  }
+
+let stride t = t.stride
+let capacity t = t.capacity
+let spilled t = t.spilled
+
+let try_push t ~src ~off =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head >= t.capacity then false
+  else begin
+    let base = (tail land t.mask) * t.stride in
+    Array.blit src off t.slots base t.stride;
+    (* Release: slot writes above become visible before the new tail. *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let push t ~src ~off =
+  if not (try_push t ~src ~off) then begin
+    let rec_ = Array.sub src off t.stride in
+    Mutex.lock t.spill_mu;
+    t.spill <- rec_ :: t.spill;
+    t.spilled <- t.spilled + 1;
+    Mutex.unlock t.spill_mu
+  end
+
+(* Consumer side: pop every currently published record (plus the spill)
+   into [f].  Concurrent pushes are safe — records published after the
+   initial tail read are simply left for the next drain. *)
+let drain t f =
+  let n = ref 0 in
+  let tail = Atomic.get t.tail in
+  let head = ref (Atomic.get t.head) in
+  while !head < tail do
+    let base = (!head land t.mask) * t.stride in
+    f t.slots base;
+    incr head;
+    incr n
+  done;
+  Atomic.set t.head !head;
+  Mutex.lock t.spill_mu;
+  let spill = t.spill in
+  t.spill <- [];
+  Mutex.unlock t.spill_mu;
+  List.iter (fun rec_ -> f rec_ 0; incr n) (List.rev spill);
+  !n
+
+let is_empty t =
+  Atomic.get t.tail = Atomic.get t.head
+  &&
+  (Mutex.lock t.spill_mu;
+   let e = t.spill = [] in
+   Mutex.unlock t.spill_mu;
+   e)

@@ -1,0 +1,41 @@
+(** Single-producer / single-consumer ring of fixed-stride int records.
+
+    The interlink between two simulation shards (DESIGN.md §14): the
+    producer shard pushes flattened packet records during a lockstep
+    window, the consumer shard drains them at the window barrier.  Push
+    and drain are lock-free (one atomic load + one atomic store each);
+    when the ring is momentarily full the record overflows into a
+    mutex-protected spill list rather than blocking the producer, which
+    would deadlock the barrier.  Records should carry a producer
+    sequence number so the consumer can re-sort ring + spill into exact
+    push order. *)
+
+type t
+
+val create : ?capacity:int -> stride:int -> unit -> t
+(** [capacity] is in records and must be a power of two (default 4096);
+    [stride] is the record size in ints. *)
+
+val stride : t -> int
+val capacity : t -> int
+
+val try_push : t -> src:int array -> off:int -> bool
+(** Copy [stride] ints from [src.(off ..)] into the ring; [false] when
+    full.  Producer only. *)
+
+val push : t -> src:int array -> off:int -> unit
+(** [try_push], falling back to the spill list when the ring is full
+    (never blocks, never drops).  Producer only. *)
+
+val drain : t -> (int array -> int -> unit) -> int
+(** Pop every published record (ring first, then spill, each in push
+    order) into the callback as [(buf, off)]; the record is only valid
+    for the duration of the call.  Returns the number of records
+    popped.  Consumer only; safe against concurrent pushes. *)
+
+val spilled : t -> int
+(** Total records that overflowed into the spill list (lifetime). *)
+
+val is_empty : t -> bool
+(** True when neither ring nor spill holds a record.  Racy under
+    concurrent pushes; exact between barriers. *)

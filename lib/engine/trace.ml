@@ -2,27 +2,37 @@ type sink = Silent | Print | Retain
 
 let default_capacity = 1 lsl 16
 
-let current = ref Silent
-let events : (Sim_time.t * string * string) Ring.t ref =
-  ref (Ring.create ~capacity:default_capacity)
+(* Domain-local: each simulation shard owns its own sink and ring, so
+   tracing from parallel domains never races (and a spawned shard starts
+   Silent regardless of what the main domain configured). *)
+type state = {
+  mutable sink : sink;
+  mutable events : (Sim_time.t * string * string) Ring.t;
+}
 
-let set_sink s = current := s
-let sink () = !current
-let enabled () = !current <> Silent
+let key =
+  Domain.DLS.new_key (fun () ->
+      { sink = Silent; events = Ring.create ~capacity:default_capacity })
 
-let set_capacity n = events := Ring.create ~capacity:n
-let capacity () = Ring.capacity !events
-let dropped () = Ring.dropped !events
+let set_sink s = (Domain.DLS.get key).sink <- s
+let sink () = (Domain.DLS.get key).sink
+let enabled () = (Domain.DLS.get key).sink <> Silent
+
+let set_capacity n = (Domain.DLS.get key).events <- Ring.create ~capacity:n
+let capacity () = Ring.capacity (Domain.DLS.get key).events
+let dropped () = Ring.dropped (Domain.DLS.get key).events
 
 let emit ~time ~cat msg =
-  match !current with
+  let st = Domain.DLS.get key in
+  match st.sink with
   | Silent -> ()
   | Print -> Format.printf "[%a] %-10s %s@." Sim_time.pp time cat msg
-  | Retain -> Ring.push !events (time, cat, msg)
+  | Retain -> Ring.push st.events (time, cat, msg)
 
 let emitf ~time ~cat fmt =
-  if !current = Silent then Format.ifprintf Format.std_formatter fmt
+  if (Domain.DLS.get key).sink = Silent then
+    Format.ifprintf Format.std_formatter fmt
   else Format.kasprintf (fun msg -> emit ~time ~cat msg) fmt
 
-let retained () = Ring.to_list !events
-let clear () = Ring.clear !events
+let retained () = Ring.to_list (Domain.DLS.get key).events
+let clear () = Ring.clear (Domain.DLS.get key).events

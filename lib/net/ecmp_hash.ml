@@ -40,44 +40,58 @@ let flow_hash ~src ~dst ~sport ~dport =
    against the full (src, dst, sport, dport) tuple before use, so it is
    pure memoization: stale entries (sport rewrites, interner resets
    between runs) miss the validation and are recomputed in place.  No
-   reset hook is needed for correctness. *)
-let m_src = ref (Array.make 64 (-1))
-let m_dst = ref (Array.make 64 0)
-let m_sport = ref (Array.make 64 0)
-let m_dport = ref (Array.make 64 0)
-let m_hash = ref (Array.make 64 0)
+   reset hook is needed for correctness.  Domain-local because interned
+   flow ids are themselves per-domain (see Flow_id). *)
+type memo = {
+  mutable m_src : int array;
+  mutable m_dst : int array;
+  mutable m_sport : int array;
+  mutable m_dport : int array;
+  mutable m_hash : int array;
+}
 
-let memo_grow id =
-  let len = Array.length !m_src in
+let memo_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        m_src = Array.make 64 (-1);
+        m_dst = Array.make 64 0;
+        m_sport = Array.make 64 0;
+        m_dport = Array.make 64 0;
+        m_hash = Array.make 64 0;
+      })
+
+let memo_grow m id =
+  let len = Array.length m.m_src in
   let nlen = Stdlib.max (id + 1) (2 * len) in
-  let grow r fill =
+  let grow a fill =
     let na = Array.make nlen fill in
-    Array.blit !r 0 na 0 len;
-    r := na
+    Array.blit a 0 na 0 len;
+    na
   in
-  grow m_src (-1);
-  grow m_dst 0;
-  grow m_sport 0;
-  grow m_dport 0;
-  grow m_hash 0
+  m.m_src <- grow m.m_src (-1);
+  m.m_dst <- grow m.m_dst 0;
+  m.m_sport <- grow m.m_sport 0;
+  m.m_dport <- grow m.m_dport 0;
+  m.m_hash <- grow m.m_hash 0
 
 let flow_hash_id ~id ~src ~dst ~sport ~dport =
   if id < 0 then flow_hash ~src ~dst ~sport ~dport
   else begin
-    if id >= Array.length !m_src then memo_grow id;
+    let m = Domain.DLS.get memo_key in
+    if id >= Array.length m.m_src then memo_grow m id;
     if
-      Array.unsafe_get !m_src id = src
-      && Array.unsafe_get !m_dst id = dst
-      && Array.unsafe_get !m_sport id = sport
-      && Array.unsafe_get !m_dport id = dport
-    then Array.unsafe_get !m_hash id
+      Array.unsafe_get m.m_src id = src
+      && Array.unsafe_get m.m_dst id = dst
+      && Array.unsafe_get m.m_sport id = sport
+      && Array.unsafe_get m.m_dport id = dport
+    then Array.unsafe_get m.m_hash id
     else begin
       let h = flow_hash ~src ~dst ~sport ~dport in
-      Array.unsafe_set !m_src id src;
-      Array.unsafe_set !m_dst id dst;
-      Array.unsafe_set !m_sport id sport;
-      Array.unsafe_set !m_dport id dport;
-      Array.unsafe_set !m_hash id h;
+      Array.unsafe_set m.m_src id src;
+      Array.unsafe_set m.m_dst id dst;
+      Array.unsafe_set m.m_sport id sport;
+      Array.unsafe_set m.m_dport id dport;
+      Array.unsafe_set m.m_hash id h;
       h
     end
   end

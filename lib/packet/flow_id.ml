@@ -27,25 +27,37 @@ end)
    (and therefore every downstream array layout) identical between
    serial and forked executions of the same job. *)
 
-let interner : int Table.t = Table.create 256
-let next_intern = ref 0
+(* Domain-local (like [Packet.uid_counter]): each simulation shard
+   interns in its own first-touch order.  Interned ids only ever index
+   domain-local arrays — they are never compared across domains and
+   never exported — so per-domain id assignment is behaviour-neutral. *)
+type interner_state = { tbl : int Table.t; mutable next : int }
+
+let interner_key =
+  Domain.DLS.new_key (fun () -> { tbl = Table.create 256; next = 0 })
 
 let intern fl =
-  match Table.find_opt interner fl with
+  let s = Domain.DLS.get interner_key in
+  match Table.find_opt s.tbl fl with
   | Some id -> id
   | None ->
-      let id = !next_intern in
-      incr next_intern;
-      Table.add interner fl id;
+      let id = s.next in
+      s.next <- id + 1;
+      Table.add s.tbl fl id;
       id
 
-let lookup_interned fl = Table.find_opt interner fl
-let interned_count () = !next_intern
+let lookup_interned fl =
+  Table.find_opt (Domain.DLS.get interner_key).tbl fl
+
+let interned_count () = (Domain.DLS.get interner_key).next
 
 let reset_interner () =
-  Table.reset interner;
-  next_intern := 0
+  let s = Domain.DLS.get interner_key in
+  Table.reset s.tbl;
+  s.next <- 0
 
 let intern_snapshot () =
-  Table.fold (fun fl id acc -> (id, fl) :: acc) interner []
+  Table.fold
+    (fun fl id acc -> (id, fl) :: acc)
+    (Domain.DLS.get interner_key).tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)

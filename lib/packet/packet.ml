@@ -28,13 +28,18 @@ type t = {
   mutable ecn_echo : bool;
 }
 
-let uid_counter = ref 0
+(* Domain-local: every simulation shard numbers its own packets.  Uids
+   never appear in telemetry or on the wire (cross-shard packets are
+   re-assigned a uid by the receiving shard's pool), so per-domain
+   numbering is invisible to the determinism oracle. *)
+let uid_key = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_uid () =
-  incr uid_counter;
-  !uid_counter
+  let c = Domain.DLS.get uid_key in
+  incr c;
+  !c
 
-let reset_uid_counter () = uid_counter := 0
+let reset_uid_counter () = Domain.DLS.get uid_key := 0
 
 let resolve_conn_id conn = function
   | Some id -> id

@@ -4,10 +4,25 @@ open Packet
    array until overwritten, which is harmless retention, not a leak. *)
 type stack = { mutable buf : Packet.t array; mutable len : int }
 
-let free_data = { buf = [||]; len = 0 }
-let free_ctrl = { buf = [||]; len = 0 }
-let reused = ref 0
-let fresh = ref 0
+(* Domain-local: each simulation shard recycles its own packets, so a
+   packet object never migrates between domains through the pool (a
+   cross-shard packet is flattened on the wire and re-materialized from
+   the receiving shard's pool, see Packet_wire). *)
+type pool = {
+  free_data : stack;
+  free_ctrl : stack;
+  mutable reused : int;
+  mutable fresh : int;
+}
+
+let pool_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        free_data = { buf = [||]; len = 0 };
+        free_ctrl = { buf = [||]; len = 0 };
+        reused = 0;
+        fresh = 0;
+      })
 
 let push st p =
   if st.len >= Array.length st.buf then begin
@@ -27,20 +42,24 @@ let pop st =
 let release p =
   if not p.pooled then begin
     p.pooled <- true;
+    let pl = Domain.DLS.get pool_key in
     match p.kind with
-    | Data _ -> push free_data p
-    | Ack _ | Nack _ | Cnp | Pause _ -> push free_ctrl p
+    | Data _ -> push pl.free_data p
+    | Ack _ | Nack _ | Cnp | Pause _ -> push pl.free_ctrl p
   end
 
 let reset () =
-  free_data.buf <- [||];
-  free_data.len <- 0;
-  free_ctrl.buf <- [||];
-  free_ctrl.len <- 0;
-  reused := 0;
-  fresh := 0
+  let pl = Domain.DLS.get pool_key in
+  pl.free_data.buf <- [||];
+  pl.free_data.len <- 0;
+  pl.free_ctrl.buf <- [||];
+  pl.free_ctrl.len <- 0;
+  pl.reused <- 0;
+  pl.fresh <- 0
 
-let stats () = (!reused, !fresh)
+let stats () =
+  let pl = Domain.DLS.get pool_key in
+  (pl.reused, pl.fresh)
 
 let resolve_conn_id conn = function
   | Some id -> id
@@ -48,9 +67,10 @@ let resolve_conn_id conn = function
 
 let data ~conn ?conn_id ~sport ~psn ~payload ~last_of_msg
     ?(retransmission = false) ~birth () =
-  if free_data.len > 0 then begin
-    incr reused;
-    let p = pop free_data in
+  let pl = Domain.DLS.get pool_key in
+  if pl.free_data.len > 0 then begin
+    pl.reused <- pl.reused + 1;
+    let p = pop pl.free_data in
     p.pooled <- false;
     p.uid <- Packet.fresh_uid ();
     p.conn <- conn;
@@ -73,7 +93,7 @@ let data ~conn ?conn_id ~sport ~psn ~payload ~last_of_msg
     p
   end
   else begin
-    incr fresh;
+    pl.fresh <- pl.fresh + 1;
     Packet.data ~conn ?conn_id ~sport ~psn ~payload ~last_of_msg
       ~retransmission ~birth ()
   end
@@ -97,16 +117,17 @@ let reuse_control p ~conn ~conn_id ~sport ~size ~birth =
   p
 
 let ack ~conn ~conn_id ~sport ~psn ~birth =
-  if free_ctrl.len > 0 then begin
-    incr reused;
-    let p = pop free_ctrl in
+  let pl = Domain.DLS.get pool_key in
+  if pl.free_ctrl.len > 0 then begin
+    pl.reused <- pl.reused + 1;
+    let p = pop pl.free_ctrl in
     (match p.kind with
     | Ack a -> a.psn <- psn
     | Data _ | Nack _ | Cnp | Pause _ -> p.kind <- Ack { psn });
     reuse_control p ~conn ~conn_id ~sport ~size:Headers.ack_bytes ~birth
   end
   else begin
-    incr fresh;
+    pl.fresh <- pl.fresh + 1;
     (* Fresh allocation is the cold path; [Packet.ack] re-interns [conn],
        which by construction yields the same id as [conn_id]. *)
     ignore conn_id;
@@ -114,29 +135,31 @@ let ack ~conn ~conn_id ~sport ~psn ~birth =
   end
 
 let nack ~conn ~conn_id ~sport ~epsn ~birth =
-  if free_ctrl.len > 0 then begin
-    incr reused;
-    let p = pop free_ctrl in
+  let pl = Domain.DLS.get pool_key in
+  if pl.free_ctrl.len > 0 then begin
+    pl.reused <- pl.reused + 1;
+    let p = pop pl.free_ctrl in
     (match p.kind with
     | Nack n -> n.epsn <- epsn
     | Data _ | Ack _ | Cnp | Pause _ -> p.kind <- Nack { epsn });
     reuse_control p ~conn ~conn_id ~sport ~size:Headers.ack_bytes ~birth
   end
   else begin
-    incr fresh;
+    pl.fresh <- pl.fresh + 1;
     ignore conn_id;
     Packet.nack ~conn ~sport ~epsn ~birth
   end
 
 let cnp ~conn ~conn_id ~sport ~birth =
-  if free_ctrl.len > 0 then begin
-    incr reused;
-    let p = pop free_ctrl in
+  let pl = Domain.DLS.get pool_key in
+  if pl.free_ctrl.len > 0 then begin
+    pl.reused <- pl.reused + 1;
+    let p = pop pl.free_ctrl in
     p.kind <- Cnp;
     reuse_control p ~conn ~conn_id ~sport ~size:Headers.cnp_bytes ~birth
   end
   else begin
-    incr fresh;
+    pl.fresh <- pl.fresh + 1;
     ignore conn_id;
     Packet.cnp ~conn ~sport ~birth
   end

@@ -1,0 +1,96 @@
+(* Flatten a packet into consecutive int slots (and back) for the
+   cross-shard SPSC interlink rings.
+
+   Everything observable travels: connection triple, kind + sequence
+   numbers, ECN codepoint, REPS entropy echo, birth timestamp.  The uid
+   deliberately does not — the receiving shard re-materializes the
+   packet from its own pool and numbers it locally; uids never reach
+   telemetry, so this is invisible to the determinism oracle.  Pause
+   frames never cross a shard boundary (sharded runs refuse PFC), so
+   [encode] rejects them. *)
+
+open Packet
+
+let words = 12
+
+(* tag word bit layout *)
+let k_data = 0
+and k_ack = 1
+and k_nack = 2
+and k_cnp = 3
+
+let b_last = 1 lsl 3
+let b_retx = 1 lsl 4
+let ecn_shift = 5 (* two bits *)
+let b_ecn_echo = 1 lsl 7
+
+let ecn_to_int = function
+  | Headers.Not_ect -> 0
+  | Headers.Ect -> 1
+  | Headers.Ce -> 2
+
+let ecn_of_int = function
+  | 0 -> Headers.Not_ect
+  | 1 -> Headers.Ect
+  | 2 -> Headers.Ce
+  | n -> invalid_arg (Printf.sprintf "Packet_wire: bad ecn code %d" n)
+
+let encode (p : Packet.t) ~into ~off =
+  let kind, seq, payload, flags =
+    match p.kind with
+    | Data { psn; payload; last_of_msg } ->
+        (k_data, Psn.to_int psn, payload, if last_of_msg then b_last else 0)
+    | Ack { psn } -> (k_ack, Psn.to_int psn, 0, 0)
+    | Nack { epsn } -> (k_nack, Psn.to_int epsn, 0, 0)
+    | Cnp -> (k_cnp, 0, 0, 0)
+    | Pause _ ->
+        invalid_arg "Packet_wire.encode: pause frames do not cross shards"
+  in
+  let tag =
+    kind lor flags
+    lor (if p.retransmission then b_retx else 0)
+    lor (ecn_to_int p.ecn lsl ecn_shift)
+    lor (if p.ecn_echo then b_ecn_echo else 0)
+  in
+  into.(off) <- tag;
+  into.(off + 1) <- seq;
+  into.(off + 2) <- payload;
+  into.(off + 3) <- p.conn.Flow_id.src;
+  into.(off + 4) <- p.conn.Flow_id.dst;
+  into.(off + 5) <- p.conn.Flow_id.qpn;
+  into.(off + 6) <- p.src_node;
+  into.(off + 7) <- p.dst_node;
+  into.(off + 8) <- p.size;
+  into.(off + 9) <- p.udp_sport;
+  into.(off + 10) <- p.birth;
+  into.(off + 11) <- p.entropy_echo
+
+let decode buf ~off =
+  let tag = buf.(off) in
+  let seq = buf.(off + 1) in
+  let payload = buf.(off + 2) in
+  let conn =
+    Flow_id.make ~src:buf.(off + 3) ~dst:buf.(off + 4) ~qpn:buf.(off + 5)
+  in
+  let sport = buf.(off + 9) in
+  let birth = buf.(off + 10) in
+  let conn_id = Flow_id.intern conn in
+  let p =
+    match tag land 7 with
+    | 0 ->
+        Packet_pool.data ~conn ~conn_id ~sport ~psn:(Psn.of_int seq) ~payload
+          ~last_of_msg:(tag land b_last <> 0)
+          ~retransmission:(tag land b_retx <> 0)
+          ~birth ()
+    | 1 -> Packet_pool.ack ~conn ~conn_id ~sport ~psn:(Psn.of_int seq) ~birth
+    | 2 -> Packet_pool.nack ~conn ~conn_id ~sport ~epsn:(Psn.of_int seq) ~birth
+    | 3 -> Packet_pool.cnp ~conn ~conn_id ~sport ~birth
+    | k -> invalid_arg (Printf.sprintf "Packet_wire.decode: bad kind %d" k)
+  in
+  p.src_node <- buf.(off + 6);
+  p.dst_node <- buf.(off + 7);
+  p.size <- buf.(off + 8);
+  p.ecn <- ecn_of_int ((tag lsr ecn_shift) land 3);
+  p.ecn_echo <- tag land b_ecn_echo <> 0;
+  p.entropy_echo <- buf.(off + 11);
+  p

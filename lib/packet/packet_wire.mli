@@ -1,0 +1,20 @@
+(** Packet <-> flat int-slot codec for the cross-shard interlink rings
+    (DESIGN.md §14).
+
+    A record is [words] consecutive ints carrying every observable
+    field: connection triple, kind, PSN/ePSN, payload length, size,
+    sport, ECN codepoint, entropy/ECN echo, retransmission flag and
+    birth timestamp.  The uid is not carried — the receiving shard
+    re-materializes the packet from its own domain-local pool and
+    numbers it locally. *)
+
+val words : int
+(** Record size in ints. *)
+
+val encode : Packet.t -> into:int array -> off:int -> unit
+(** Raises [Invalid_argument] on pause frames (PFC never crosses a
+    shard boundary; sharded runs refuse PFC configs). *)
+
+val decode : int array -> off:int -> Packet.t
+(** Allocates from the calling domain's {!Packet_pool}; the connection
+    is re-interned locally. *)

@@ -1,0 +1,77 @@
+type t = {
+  shards : int;
+  n_nodes : int;
+  lookahead : Sim_time.t;
+  shard_of_node : int array;
+}
+
+let force_env = "THEMIS_SHARDS_FORCE"
+
+let ensure_domains ~shards =
+  if shards <= 1 then Ok ()
+  else if Domain.recommended_domain_count () > 1 then Ok ()
+  else
+    match Sys.getenv_opt force_env with
+    | Some v when v <> "" -> Ok ()
+    | Some _ | None ->
+        Error
+          (Printf.sprintf
+             "sharded simulation needs a multicore runtime, but \
+              Domain.recommended_domain_count () = 1 on this machine; run \
+              serially (--shards 1) or set %s=1 to force domain spawning"
+             force_env)
+
+let partition ~n_leaves ~n_spines ~hosts_per_leaf ~link_delay ~shards =
+  if shards < 1 then Error "shards must be >= 1"
+  else if shards > n_leaves then
+    Error
+      (Printf.sprintf "%d shards over %d leaves: at most one shard per ToR"
+         shards n_leaves)
+  else if link_delay < 1 then
+    Error "link delay 0 leaves no conservative lookahead window"
+  else begin
+    let n_hosts = n_leaves * hosts_per_leaf in
+    let n_nodes = n_hosts + n_leaves + n_spines in
+    let shard_of_node = Array.make n_nodes 0 in
+    (* ToR-affine cut: leaves in contiguous blocks, hosts follow their
+       ToR (the host <-> ToR edge never crosses a shard), spines dealt
+       round-robin so every shard drives some spine work. *)
+    for l = 0 to n_leaves - 1 do
+      let s = l * shards / n_leaves in
+      shard_of_node.(n_hosts + l) <- s;
+      for h = 0 to hosts_per_leaf - 1 do
+        shard_of_node.((l * hosts_per_leaf) + h) <- s
+      done
+    done;
+    for j = 0 to n_spines - 1 do
+      shard_of_node.(n_hosts + n_leaves + j) <- j mod shards
+    done;
+    Ok { shards; n_nodes; lookahead = link_delay; shard_of_node }
+  end
+
+let of_shape (shape : Fuzz_spec.shape) ~shards =
+  match shape with
+  | Fuzz_spec.Ft _ -> Error "fat-tree shapes cannot be sharded"
+  | Fuzz_spec.Ls { n_leaves; n_spines; hosts_per_leaf; link_delay_ns; _ } ->
+      partition ~n_leaves ~n_spines ~hosts_per_leaf ~link_delay:link_delay_ns
+        ~shards
+
+let supported (spec : Fuzz_spec.t) ~shards =
+  match of_shape spec.Fuzz_spec.shape ~shards with
+  | Error _ as e -> e
+  | Ok _ ->
+      if
+        spec.Fuzz_spec.drop_ppm <> 0
+        || spec.Fuzz_spec.corrupt_ppm <> 0
+        || spec.Fuzz_spec.dup_ppm <> 0
+        || spec.Fuzz_spec.delay_ppm <> 0
+      then
+        Error
+          "per-delivery fault injection consumes one RNG in global delivery \
+           order; sharded runs require the ppm knobs to be zero"
+      else Ok ()
+
+let shards t = t.shards
+let lookahead t = t.lookahead
+let shard_of t node = t.shard_of_node.(node)
+let owned t sid node = t.shard_of_node.(node) = sid

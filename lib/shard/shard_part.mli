@@ -1,0 +1,46 @@
+(** Spatial partition of a leaf-spine fabric into simulation shards.
+
+    The cut is ToR-affine: each leaf (with all of its hosts) belongs to
+    exactly one shard, leaves are assigned in contiguous blocks, and
+    spines are dealt round-robin.  Host <-> ToR links therefore never
+    cross a shard boundary; only leaf <-> spine links do.  The
+    conservative lookahead equals the uniform link propagation delay. *)
+
+type t
+
+val force_env : string
+(** Environment variable ([THEMIS_SHARDS_FORCE]) that overrides the
+    single-core fail-fast of {!ensure_domains} — used by tests and
+    benches on machines where [Domain.recommended_domain_count] is 1. *)
+
+val ensure_domains : shards:int -> (unit, string) result
+(** Fail fast (with a clear message) when more than one shard is
+    requested on a runtime that reports a single recommended domain,
+    unless {!force_env} is set. *)
+
+val partition :
+  n_leaves:int ->
+  n_spines:int ->
+  hosts_per_leaf:int ->
+  link_delay:Sim_time.t ->
+  shards:int ->
+  (t, string) result
+(** Errors when [shards < 1], [shards > n_leaves], or [link_delay < 1]
+    (no lookahead window). *)
+
+val of_shape : Fuzz_spec.shape -> shards:int -> (t, string) result
+
+val supported : Fuzz_spec.t -> shards:int -> (unit, string) result
+(** Whether the spec can run sharded with byte-identical results:
+    leaf-spine shape, partitionable, and no per-delivery ppm faults
+    (their RNG is consumed in global delivery order, which a sharded run
+    cannot reproduce).  Link faults, slow spines, jitter and both
+    transports are all supported. *)
+
+val shards : t -> int
+val lookahead : t -> Sim_time.t
+val shard_of : t -> int -> int
+(** Shard owning a node id. *)
+
+val owned : t -> int -> int -> bool
+(** [owned t sid node]. *)

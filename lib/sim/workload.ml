@@ -76,5 +76,3 @@ let permutation_pairs_array (ls : Leaf_spine.t) ~rng =
         (h, hosts.((i + ls.Leaf_spine.hosts_per_leaf) mod Array.length hosts)))
       hosts
   else Array.map2 (fun a b -> (a, b)) hosts perm
-
-let permutation_pairs ls ~rng = Array.to_list (permutation_pairs_array ls ~rng)

@@ -31,8 +31,3 @@ val permutation_pairs_array : Leaf_spine.t -> rng:Rng.t -> (int * int) array
 (** A random cross-rack permutation: every host sends to exactly one host
     of another leaf (used by ablation workloads).  Returned as an array;
     callers iterate it directly. *)
-
-val permutation_pairs : Leaf_spine.t -> rng:Rng.t -> (int * int) list
-  [@@ocaml.deprecated "Use permutation_pairs_array instead."]
-(** @deprecated Use {!permutation_pairs_array}; this allocates an
-    intermediate list only to be iterated. *)

@@ -61,34 +61,54 @@ let flow t id =
       t.flows.(id) <- Some f;
       f
 
-(* --- Invariant counters (process-wide, reset per run) ---------------- *)
+(* --- Invariant counters (domain-wide, reset per run) ----------------- *)
 
-let reps_recycled = ref 0
-let reps_fresh = ref 0
-let reps_tainted_recycled = ref 0
-let prime_bumps = ref 0
-let sprinkler_switches = ref 0
-let spritz_picks = ref 0
+(* Domain-local so parallel shards count independently; the sharded
+   runner sums shard snapshots componentwise when an oracle needs the
+   fleet-wide total. *)
+type globals = {
+  mutable reps_recycled : int;
+  mutable reps_fresh : int;
+  mutable reps_tainted_recycled : int;
+  mutable prime_bumps : int;
+  mutable sprinkler_switches : int;
+  mutable spritz_picks : int;
+}
+
+let globals_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        reps_recycled = 0;
+        reps_fresh = 0;
+        reps_tainted_recycled = 0;
+        prime_bumps = 0;
+        sprinkler_switches = 0;
+        spritz_picks = 0;
+      })
 
 let reset_globals () =
-  reps_recycled := 0;
-  reps_fresh := 0;
-  reps_tainted_recycled := 0;
-  prime_bumps := 0;
-  sprinkler_switches := 0;
-  spritz_picks := 0
+  let g = Domain.DLS.get globals_key in
+  g.reps_recycled <- 0;
+  g.reps_fresh <- 0;
+  g.reps_tainted_recycled <- 0;
+  g.prime_bumps <- 0;
+  g.sprinkler_switches <- 0;
+  g.spritz_picks <- 0
 
 let counters () =
+  let g = Domain.DLS.get globals_key in
   [
-    ("reps_recycled", !reps_recycled);
-    ("reps_fresh", !reps_fresh);
-    ("reps_tainted_recycled", !reps_tainted_recycled);
-    ("prime_bumps", !prime_bumps);
-    ("sprinkler_switches", !sprinkler_switches);
-    ("spritz_picks", !spritz_picks);
+    ("reps_recycled", g.reps_recycled);
+    ("reps_fresh", g.reps_fresh);
+    ("reps_tainted_recycled", g.reps_tainted_recycled);
+    ("prime_bumps", g.prime_bumps);
+    ("sprinkler_switches", g.sprinkler_switches);
+    ("spritz_picks", g.spritz_picks);
   ]
 
-let note_spritz_pick () = incr spritz_picks
+let note_spritz_pick () =
+  let g = Domain.DLS.get globals_key in
+  g.spritz_picks <- g.spritz_picks + 1
 
 (* --- REPS ------------------------------------------------------------ *)
 
@@ -149,14 +169,16 @@ let reps_next t ~conn_id ~rng =
   let f = flow t conn_id in
   if f.rlen > 0 then begin
     let e = ring_pop f in
-    incr reps_recycled;
+    let g = Domain.DLS.get globals_key in
+    g.reps_recycled <- g.reps_recycled + 1;
     (* By construction tainted entropies were evicted from the ring;
        this counter is the invariant the oracle asserts stays 0. *)
-    if tainted_mem f e then incr reps_tainted_recycled;
+    if tainted_mem f e then g.reps_tainted_recycled <- g.reps_tainted_recycled + 1;
     e
   end
   else begin
-    incr reps_fresh;
+    let g = Domain.DLS.get globals_key in
+    g.reps_fresh <- g.reps_fresh + 1;
     Rng.int rng 0x10000
   end
 
@@ -180,7 +202,8 @@ let prime_adapt t ~conn_id = (flow t conn_id).adapt
 let prime_feedback t ~conn_id ~ce =
   if ce then begin
     (flow t conn_id).adapt <- (flow t conn_id).adapt + 1;
-    incr prime_bumps
+    let g = Domain.DLS.get globals_key in
+    g.prime_bumps <- g.prime_bumps + 1
   end
 
 (* --- Sprinklers ------------------------------------------------------ *)
@@ -223,7 +246,10 @@ let sprinkler_choose t ~conn_id ~bytes ~n ~load =
        done
      with Exit -> ());
     let choice = !choice in
-    if f.cur >= 0 && choice <> f.cur then incr sprinkler_switches;
+    if f.cur >= 0 && choice <> f.cur then begin
+      let g = Domain.DLS.get globals_key in
+      g.sprinkler_switches <- g.sprinkler_switches + 1
+    end;
     f.cur <- choice;
     f.stripe_rem <- stripe_quantum + (loads.(choice) - min_all) - bytes;
     choice

@@ -80,8 +80,8 @@ let config t = t.cfg
    per-destination compile after create / attach / recompute).  The
    steady-state fast path contains no probe — and so no counting code —
    at all; bench/engine_bench.ml asserts this stays flat once warm. *)
-let slow_path_probes = ref 0
-let forward_hash_probes () = !slow_path_probes
+let slow_path_probes = Domain.DLS.new_key (fun () -> ref 0)
+let forward_hash_probes () = !(Domain.DLS.get slow_path_probes)
 
 let resolve_drop_counter t m =
   let c = Metrics.counter m ~labels:t.drop_labels "switch_dropped_packets" in
@@ -183,7 +183,7 @@ let compile_ports t dst =
   let ports =
     Array.map
       (fun (_, link_id) ->
-        incr slow_path_probes;
+        incr (Domain.DLS.get slow_path_probes);
         match Hashtbl.find_opt t.ports link_id with
         | Some (port, _) -> port
         | None ->
