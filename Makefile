@@ -28,9 +28,10 @@ examples:
 micro:
 	dune exec bench/main.exe -- micro
 
-# Engine/data-plane allocation benchmark (DESIGN.md §10): events/sec,
-# minor words/event and campaign wall-clock vs the frozen pre-refactor
-# baseline, written to BENCH_engine.json with before/after ratios.
+# Engine/data-plane benchmark (DESIGN.md §10/§15): events/sec, minor
+# words/event, campaign wall-clock and the timing-wheel hit ratio vs
+# the frozen 631052b baseline, written to BENCH_engine.json with
+# before/after ratios.
 bench-engine:
 	dune exec bench/engine_bench.exe -- --out BENCH_engine.json
 

@@ -40,7 +40,7 @@ let measure f =
    each firing reschedules itself at a deterministic pseudo-random
    offset, so the heap stays [width] deep and every event exercises
    add + pop + dispatch. *)
-let bench_mill ~events =
+let bench_mill ~events ~reps =
   let width = 512 in
   let eng = Engine.create () in
   let fired = ref 0 in
@@ -52,15 +52,30 @@ let bench_mill ~events =
   for i = 0 to width - 1 do
     ignore (Engine.schedule eng ~delay:(Sim_time.ns (i land 63)) (tick i))
   done;
-  measure (fun () ->
-      Engine.run eng ~max_events:events;
-      Engine.events_processed eng)
+  (* Best-of-[reps] windows over the same running mill: the workload is
+     stateless across windows (no global interner or pool touched), so
+     repeats only filter scheduler noise out of the wall-clock. *)
+  let best = ref None in
+  for _ = 1 to reps do
+    let before = Engine.events_processed eng in
+    let s =
+      measure (fun () ->
+          Engine.run eng ~max_events:events;
+          Engine.events_processed eng - before)
+    in
+    match !best with
+    | Some b when b.wall_s <= s.wall_s -> ()
+    | _ -> best := Some s
+  done;
+  match !best with Some s -> s | None -> assert false
 
 (* The incast preset (Experiment.default_incast), replicated here rather
    than called through Experiment so we can read the engine's event count
    for the words/event metric.  Keep in sync with Experiment.run_incast. *)
 let bench_incast ~schemes ~fanin ~bytes ~seed =
-  measure (fun () ->
+  let wheel = ref 0 and heap = ref 0 in
+  let s =
+    measure (fun () ->
       List.fold_left
         (fun acc scheme_name ->
           let scheme =
@@ -90,8 +105,23 @@ let bench_incast ~schemes ~fanin ~bytes ~seed =
           done;
           Network.run net ~until:(Sim_time.sec 30);
           if !done_ < fanin then failwith "engine_bench: incast incomplete";
+          let w, h = Engine.sched_stats (Network.engine net) in
+          wheel := !wheel + w;
+          heap := !heap + h;
           acc + Engine.events_processed (Network.engine net))
         0 schemes)
+  in
+  (* The wheel-vs-heap split is the §15 design invariant: every periodic
+     timer in the incast preset fits the wheel's epoch, so near all
+     schedules should take the dense O(1) path. *)
+  let total = !wheel + !heap in
+  let hit = if total > 0 then float_of_int !wheel /. float_of_int total else 0. in
+  if hit <= 0.90 then
+    failwith
+      (Printf.sprintf
+         "engine_bench: incast wheel hit ratio %.4f <= 0.90 (wheel=%d heap=%d)"
+         hit !wheel !heap);
+  (s, !wheel, !heap, hit)
 
 (* Single-switch forward/enqueue microbench: a standalone ToR with all
    its ports attached and sink deliveries, fed pooled data packets from
@@ -100,7 +130,7 @@ let bench_incast ~schemes ~fanin ~bytes ~seed =
    (route lookup + path choice + enqueue + tx/propagate events) as
    packets/sec and minor words/packet, and asserts the compiled route
    cache takes zero hashtable probes once warm. *)
-let bench_fwd ~packets =
+let bench_fwd ~packets ~reps =
   let engine = Engine.create () in
   let ls = Leaf_spine.build Leaf_spine.motivation in
   let topo = ls.Leaf_spine.topo in
@@ -135,6 +165,9 @@ let bench_fwd ~packets =
   in
   let psn = ref 0 in
   let batch = 128 in
+  (* Arrivals land on a lane and the switch drains it as one batched
+     activation — the breathe shape the data plane runs at line rate. *)
+  let lane = Fifo.create ~capacity:batch () in
   let run_batch () =
     for i = 0 to batch - 1 do
       let k = i land (nflows - 1) in
@@ -145,8 +178,9 @@ let bench_fwd ~packets =
           ~birth:(Engine.now engine) ()
       in
       incr psn;
-      Switch.receive sw pkt
+      Fifo.push lane pkt
     done;
+    Switch.receive_batch sw lane;
     Engine.run engine
   in
   (* Warm the route cache and the packet pool before measuring, then
@@ -155,13 +189,23 @@ let bench_fwd ~packets =
   run_batch ();
   let probes0 = Switch.forward_hash_probes () in
   let iters = packets / batch in
-  let s =
-    measure (fun () ->
-        for _ = 1 to iters do
-          run_batch ()
-        done;
-        iters * batch)
-  in
+  (* Best-of-[reps] windows on the same warm switch: later windows reuse
+     the same connections and route cache, so repeats only filter machine
+     noise; the probe-free steady-state assertion spans every window. *)
+  let best = ref None in
+  for _ = 1 to reps do
+    let s =
+      measure (fun () ->
+          for _ = 1 to iters do
+            run_batch ()
+          done;
+          iters * batch)
+    in
+    match !best with
+    | Some b when b.wall_s <= s.wall_s -> ()
+    | _ -> best := Some s
+  done;
+  let s = match !best with Some s -> s | None -> assert false in
   let steady_probes = Switch.forward_hash_probes () - probes0 in
   if steady_probes <> 0 then
     failwith
@@ -202,24 +246,23 @@ type numbers = {
   fwd_wpp : float;
 }
 
-(* Measured at commit 382b7f9 — the zero-allocation
-   engine of PR 4, before the dense-forwarding rewrite (hashed routing
-   tables, per-packet port probes, hashed QP/flow dispatch) — with this
-   same harness on the machine class that runs `make check`; regenerate
-   via EXPERIMENTS.md § "Engine benchmark" after intentional model
-   changes. *)
+(* Measured at commit 631052b — the dense-forwarding tree of PR 8
+   (compiled route cache, pooled packets, sharded interlinks), before
+   the hierarchical timing wheel — with this same harness on the machine
+   class that runs `make check`; regenerate via EXPERIMENTS.md §
+   "Engine benchmark" after intentional model changes. *)
 let baseline : numbers option =
   Some
     {
-      mill_eps = 6370684.;
+      mill_eps = 6576935.;
       mill_wpe = 5.00;
       incast_events = 330667;
-      incast_eps = 4369677.;
-      incast_wpe = 6.14;
+      incast_eps = 5798418.;
+      incast_wpe = 4.66;
       quick_jobs = 6;
-      quick_wall_s = 2.31;
-      fwd_pps = 2585260.;
-      fwd_wpp = 30.00;
+      quick_wall_s = 1.58;
+      fwd_pps = 3410705.;
+      fwd_wpp = 23.00;
     }
 
 (* --- JSON ------------------------------------------------------------- *)
@@ -236,7 +279,7 @@ let j_sample s =
 let j_baseline (b : numbers) =
   Campaign_json.Obj
     [
-      ("commit", Campaign_json.Str "382b7f9");
+      ("commit", Campaign_json.Str "631052b");
       ("mill_events_per_sec", Campaign_json.Num b.mill_eps);
       ("mill_minor_words_per_event", Campaign_json.Num b.mill_wpe);
       ("incast_events", Campaign_json.Num (float_of_int b.incast_events));
@@ -246,6 +289,18 @@ let j_baseline (b : numbers) =
       ("quick_wall_s", Campaign_json.Num b.quick_wall_s);
       ("fwd_packets_per_sec", Campaign_json.Num b.fwd_pps);
       ("fwd_minor_words_per_packet", Campaign_json.Num b.fwd_wpp);
+    ]
+
+let j_incast (s, wheel, heap, hit) =
+  Campaign_json.Obj
+    [
+      ("events", Campaign_json.Num (float_of_int s.events));
+      ("wall_s", Campaign_json.Num s.wall_s);
+      ("events_per_sec", Campaign_json.Num (events_per_sec s));
+      ("minor_words_per_event", Campaign_json.Num (words_per_event s));
+      ("wheel_adds", Campaign_json.Num (float_of_int wheel));
+      ("heap_adds", Campaign_json.Num (float_of_int heap));
+      ("wheel_hit_ratio", Campaign_json.Num hit);
     ]
 
 let j_fwd (s, probes) =
@@ -261,7 +316,7 @@ let j_fwd (s, probes) =
 let emit ~mill ~incast ~quick ~fwd =
   let ratios =
     match (baseline, mill, incast, quick) with
-    | Some b, Some mill, Some incast, Some (q, _) ->
+    | Some b, Some mill, Some (incast, _, _, _), Some (q, _) ->
         [
           ( "ratios",
             Campaign_json.Obj
@@ -308,7 +363,7 @@ let emit ~mill ~incast ~quick ~fwd =
          ("mode", Campaign_json.Str (if !smoke then "smoke" else "full"));
        ]
       @ opt "mill" j_sample mill
-      @ opt "incast" j_sample incast
+      @ opt "incast" j_incast incast
       @ quick_fields
       @ opt "fwd" j_fwd fwd
       @ (match baseline with
@@ -364,15 +419,19 @@ let () =
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let fwd = bench_fwd ~packets:(if !smoke then 12_800 else 1_280_000) in
+  let reps = if !smoke then 1 else 3 in
+  let fwd = bench_fwd ~packets:(if !smoke then 12_800 else 1_280_000) ~reps in
   if !fwd_only then begin
     emit ~mill:None ~incast:None ~quick:None ~fwd:(Some fwd);
     validate_output ~keys:[ "bench"; "mode"; "fwd" ];
     Printf.printf "engine_bench: %s\n" (pp_fwd fwd)
   end
   else begin
-    let mill = bench_mill ~events:(if !smoke then 20_000 else 4_000_000) in
-    let incast =
+    let mill = bench_mill ~events:(if !smoke then 20_000 else 4_000_000) ~reps in
+    (* The incast preset runs single-shot in both modes: its event count
+       is the pinned trace-identity fingerprint, and a repeat would
+       advance the domain-local flow interner and shift every conn id. *)
+    let ((incast_s, wheel, heap, hit) as incast) =
       if !smoke then
         bench_incast ~schemes:[ "ecmp" ] ~fanin:2 ~bytes:50_000 ~seed:3
       else
@@ -385,9 +444,10 @@ let () =
     validate_output ~keys:[ "bench"; "mode"; "mill"; "incast"; "fwd" ];
     Printf.printf
       "engine_bench: mill %.0f ev/s, %.2f w/ev | incast %d ev, %.0f ev/s, \
-       %.2f w/ev | %s%s\n"
-      (events_per_sec mill) (words_per_event mill) incast.events
-      (events_per_sec incast) (words_per_event incast) (pp_fwd fwd)
+       %.2f w/ev, wheel %.2f%% (%d/%d) | %s%s\n"
+      (events_per_sec mill) (words_per_event mill) incast_s.events
+      (events_per_sec incast_s) (words_per_event incast_s) (hit *. 100.)
+      wheel (wheel + heap) (pp_fwd fwd)
       (match quick with
       | Some (q, jobs) -> Printf.sprintf " | quick %d jobs %.2f s" jobs q.wall_s
       | None -> "")

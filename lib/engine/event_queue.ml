@@ -9,15 +9,34 @@ let none : handle = -1
    take years of sim time to wrap. *)
 let slot_bits = 24
 let slot_mask = (1 lsl slot_bits) - 1
+let epoch_shift = 24
 
 type t = {
-  (* Min-heap over (time, seq), structure-of-arrays: the sift loops
-     compare and shuffle unboxed ints only. *)
+  (* Near-future band: a three-level timing wheel covering the cursor's
+     current 2^24-tick (~16.7ms) epoch.  O(1) add/pop for the dense
+     fixed-offset events (tx completions, propagations, pacing ticks)
+     and for every periodic timer (DCQCN alpha/TI, RTO) that dominate
+     the simulation; see DESIGN.md §15. *)
+  wheel : Timing_wheel.t;
+  (* Overflow: min-heap over (time, seq), structure-of-arrays — the sift
+     loops compare and shuffle unboxed ints only.  Holds far-future
+     events beyond the epoch (migrated down when the cursor's epoch
+     arrives) and events scheduled behind the wheel cursor (a sharded
+     run's window drains; popped directly). *)
   mutable times : int array;
   mutable seqs : int array;
   mutable slots : int array;
   mutable size : int;
   mutable next_seq : int;
+  (* Cached next-event decision, shared by peek/top accessors and drop;
+     invalidated by pops and by adds below the cached time. *)
+  mutable has_next : bool;
+  mutable next_is_wheel : bool;
+  mutable next_time : int;
+  mutable next_slot : int;
+  (* Wheel-vs-heap routing counters (bench-engine's hit-ratio gate). *)
+  mutable wheel_adds : int;
+  mutable heap_adds : int;
   (* Slot arena: per-event payload, recycled through [free_head]. *)
   mutable cbs : int array;
   mutable args_a : int array;
@@ -34,11 +53,18 @@ let obj_unit = Obj.repr ()
 let create ?(capacity = 256) () =
   let cap = if capacity < 1 then 1 else capacity in
   {
+    wheel = Timing_wheel.create ~capacity:cap ();
     times = Array.make cap 0;
     seqs = Array.make cap 0;
     slots = Array.make cap 0;
     size = 0;
     next_seq = 0;
+    has_next = false;
+    next_is_wheel = false;
+    next_time = 0;
+    next_slot = 0;
+    wheel_adds = 0;
+    heap_adds = 0;
     cbs = Array.make cap 0;
     args_a = Array.make cap 0;
     args_b = Array.make cap 0;
@@ -74,15 +100,15 @@ let grow_arena q =
   for i = cap to ncap - 1 do
     q.free_next.(i) <- (if i = ncap - 1 then -1 else i + 1)
   done;
-  q.free_head <- cap
+  q.free_head <- cap;
+  (* The wheel's intrusive node array is indexed by arena slot id. *)
+  Timing_wheel.ensure_capacity q.wheel ncap
 
 (* The heap is 4-ary: (time, seq) is a strict total order (seq is
    unique), so the pop sequence is identical for any correct min-heap —
    arity is invisible to consumers.  Four-way nodes halve the sift depth
    and the four children [4i+1 .. 4i+4] share a cache line in the
-   structure-of-arrays layout, which is where the sift-down loop —
-   the single hottest function in the whole simulator — spends its
-   time. *)
+   structure-of-arrays layout. *)
 
 (* Hole-percolation sift-up: the new element's (time, seq, slot) ride in
    registers while ancestors shift down, so each level is one compare and
@@ -184,6 +210,20 @@ let rec sift_down q i ~time ~seq ~slot =
     end
   end
 
+let heap_push q ~time ~seq ~slot =
+  if q.size >= Array.length q.times then grow_heap q;
+  let i = q.size in
+  q.size <- q.size + 1;
+  sift_up q i ~time ~seq ~slot
+
+(* Remove the heap minimum without recycling its arena slot (the event
+   may be migrating into the wheel rather than dying). *)
+let heap_remove_top q =
+  q.size <- q.size - 1;
+  let last = q.size in
+  if last > 0 then
+    sift_down q 0 ~time:q.times.(last) ~seq:q.seqs.(last) ~slot:q.slots.(last)
+
 let add q ~time ~cb ~a ~b ~obj =
   if q.free_head < 0 then grow_arena q;
   let s = q.free_head in
@@ -196,12 +236,17 @@ let add q ~time ~cb ~a ~b ~obj =
      store and its write barrier entirely. *)
   if obj != obj_unit then q.objs.(s) <- obj;
   q.dead.(s) <- false;
-  if q.size >= Array.length q.times then grow_heap q;
+  (* The sequence number is allocated for every event — wheel-resident
+     ones never store it (slot order is insertion order), but the shared
+     counter is what keeps heap events totally ordered against them. *)
   let seq = q.next_seq in
   q.next_seq <- seq + 1;
-  let i = q.size in
-  q.size <- q.size + 1;
-  sift_up q i ~time ~seq ~slot:s;
+  if Timing_wheel.add q.wheel ~time s then q.wheel_adds <- q.wheel_adds + 1
+  else begin
+    heap_push q ~time ~seq ~slot:s;
+    q.heap_adds <- q.heap_adds + 1
+  end;
+  if q.has_next && time < q.next_time then q.has_next <- false;
   (q.gens.(s) lsl slot_bits) lor s
 
 (* A slot's generation only matches handles minted for its current
@@ -222,8 +267,60 @@ let is_pending q h =
   let s = live_slot q h in
   s >= 0 && not q.dead.(s)
 
-let peek_time_unsafe q = Array.unsafe_get q.times 0
-let top_slot q = Array.unsafe_get q.slots 0
+(* Resolve the next event across the wheel and the heap.
+
+   The wheel wins ties: a heap event at the same time as a wheel event
+   is necessarily a behind-cursor late add (window drains), which was
+   scheduled after — and so sequences after — anything the wheel holds
+   at that time (DESIGN.md §15 has the full argument).  When the wheel
+   is empty and the heap's earliest event lies in an epoch at or ahead
+   of the cursor, that whole epoch migrates down: heap pops come out in
+   (time, seq) order, so the wheel's append-only slots receive them in
+   exactly the order they must fire. *)
+let rec ensure_next q =
+  if not q.has_next then begin
+    let wt = Timing_wheel.next_time q.wheel in
+    if wt >= 0 then
+      if q.size > 0 && Array.unsafe_get q.times 0 < wt then set_heap_next q
+      else begin
+        q.next_is_wheel <- true;
+        q.next_time <- wt;
+        q.next_slot <- Timing_wheel.peek_val q.wheel;
+        q.has_next <- true
+      end
+    else if q.size > 0 then begin
+      let ht = q.times.(0) in
+      if ht >= Timing_wheel.cursor q.wheel then begin
+        Timing_wheel.jump q.wheel ht;
+        let epoch = ht lsr epoch_shift in
+        while
+          q.size > 0 && Array.unsafe_get q.times 0 lsr epoch_shift = epoch
+        do
+          let tm = q.times.(0) and s = q.slots.(0) in
+          heap_remove_top q;
+          let covered = Timing_wheel.add q.wheel ~time:tm s in
+          assert covered
+        done;
+        ensure_next q
+      end
+      else set_heap_next q
+    end
+  end
+
+and set_heap_next q =
+  q.next_is_wheel <- false;
+  q.next_time <- q.times.(0);
+  q.next_slot <- q.slots.(0);
+  q.has_next <- true
+
+let peek_time_unsafe q =
+  ensure_next q;
+  q.next_time
+
+let top_slot q =
+  ensure_next q;
+  q.next_slot
+
 let top_cancelled q = Array.unsafe_get q.dead (top_slot q)
 let top_cb q = Array.unsafe_get q.cbs (top_slot q)
 let top_a q = Array.unsafe_get q.args_a (top_slot q)
@@ -239,19 +336,44 @@ let free_slot q s =
   q.free_head <- s
 
 let drop q =
-  free_slot q q.slots.(0);
-  q.size <- q.size - 1;
-  let last = q.size in
-  if last > 0 then
-    sift_down q 0 ~time:q.times.(last) ~seq:q.seqs.(last) ~slot:q.slots.(last)
+  ensure_next q;
+  if q.next_is_wheel then begin
+    let s = Timing_wheel.pop q.wheel in
+    free_slot q s;
+    (* Same-slot fast path: events left in the cursor slot carry the
+       exact time just served and still beat the heap (a cache-valid
+       wheel decision means the heap minimum is strictly later — ties
+       are structurally impossible, see [ensure_next]), so the cached
+       decision survives with just a new head. *)
+    if Timing_wheel.cursor_occupied q.wheel then
+      q.next_slot <- Timing_wheel.peek_val q.wheel
+    else q.has_next <- false
+  end
+  else begin
+    let s = q.slots.(0) in
+    heap_remove_top q;
+    free_slot q s;
+    q.has_next <- false
+  end
 
-let peek_time q = if q.size = 0 then None else Some q.times.(0)
-let size q = q.size
-let is_empty q = q.size = 0
+let size q = q.size + Timing_wheel.count q.wheel
+let is_empty q = q.size = 0 && Timing_wheel.is_empty q.wheel
+
+let peek_time q =
+  if is_empty q then None
+  else begin
+    ensure_next q;
+    Some q.next_time
+  end
+
 let capacity q = Array.length q.times
+let wheel_adds q = q.wheel_adds
+let heap_adds q = q.heap_adds
 
 let clear q =
+  Timing_wheel.drain_all q.wheel (fun s -> free_slot q s);
   for i = 0 to q.size - 1 do
     free_slot q q.slots.(i)
   done;
-  q.size <- 0
+  q.size <- 0;
+  q.has_next <- false

@@ -1,18 +1,25 @@
 (** A stable priority queue of timestamped events, allocation-free in
     steady state.
 
-    The store is a binary min-heap keyed on [(time, sequence)]; the
-    sequence number makes ordering of same-time events FIFO with respect
-    to insertion, which is what makes simulation runs deterministic.
+    Ordering is [(time, sequence)]: the sequence number makes same-time
+    events FIFO with respect to insertion, which is what makes
+    simulation runs deterministic.
 
-    The heap is laid out as a structure of arrays over unboxed ints
-    ([Sim_time.t] is an int of nanoseconds): parallel [times]/[seqs]
-    arrays drive the sift comparisons without chasing pointers, and a
-    third parallel array holds indices into a slot arena carrying each
-    event's payload — a pre-registered callback id, two immediate int
-    arguments and one reusable [Obj.t] slot (see {!Engine}).  Slots are
-    recycled through a freelist; handles are generation-tagged ints so a
-    stale handle can never cancel a recycled slot's new occupant.
+    The store is hybrid (DESIGN.md §15): a two-level hierarchical
+    {!Timing_wheel} holds the dense near-future band — every event
+    whose time falls inside the cursor's current 65536-tick chunk — at
+    O(1) per add/pop, while a 4-ary SoA min-heap holds the overflow:
+    far-future timers, events scheduled across the chunk boundary
+    (migrated down as the cursor's chunk arrives), and events scheduled
+    behind the wheel cursor (a sharded run's barrier drains; served
+    directly from the heap).  The merge preserves the exact (time, seq)
+    total order of a single heap; consumers cannot observe the split.
+
+    Event payloads — a pre-registered callback id, two immediate int
+    arguments and one reusable [Obj.t] slot (see {!Engine}) — live in a
+    slot arena shared by both bands, recycled through a freelist;
+    handles are generation-tagged ints so a stale handle can never
+    cancel a recycled slot's new occupant.
 
     [add], [drop], [cancel] and the accessors allocate nothing once the
     backing arrays have grown to the working-set size (or were
@@ -27,8 +34,9 @@ type handle = int
 val none : handle
 
 val create : ?capacity:int -> unit -> t
-(** [create ~capacity ()] preallocates the heap and the slot arena for
-    [capacity] simultaneous events; both grow by doubling beyond that. *)
+(** [create ~capacity ()] preallocates the heap, the wheel's node arena
+    and the slot arena for [capacity] simultaneous events; all grow by
+    doubling beyond that. *)
 
 val add :
   t -> time:Sim_time.t -> cb:int -> a:int -> b:int -> obj:Obj.t -> handle
@@ -37,13 +45,13 @@ val add :
     it matches nothing. *)
 
 val cancel : t -> handle -> unit
-(** Mark the event dead; it stays in the heap and is skipped lazily at
-    pop time.  No-op for stale or [none] handles. *)
+(** Mark the event dead; it stays queued (wheel slot or heap) and is
+    skipped lazily at pop time.  No-op for stale or [none] handles. *)
 
 val is_pending : t -> handle -> bool
 (** [true] iff the handle's event is still queued and not cancelled. *)
 
-(** {2 Top-of-heap accessors}
+(** {2 Top-of-queue accessors}
 
     All [peek_time_unsafe]/[top_*] functions and [drop] require
     [not (is_empty q)]; they are the engine's inner loop and perform no
@@ -65,8 +73,18 @@ val peek_time : t -> Sim_time.t option
 
 val size : t -> int
 val is_empty : t -> bool
+
 val capacity : t -> int
-(** Current heap capacity in events (tests the [create ~capacity] hint). *)
+(** Current overflow-heap capacity in events (tests the
+    [create ~capacity] hint; the wheel band does not consume it). *)
+
+val wheel_adds : t -> int
+(** Lifetime count of adds filed in the timing wheel. *)
+
+val heap_adds : t -> int
+(** Lifetime count of adds that overflowed to the heap.  The wheel hit
+    ratio [wheel_adds / (wheel_adds + heap_adds)] is bench-engine's
+    gate: the dense band must absorb the hot fixed-offset traffic. *)
 
 val clear : t -> unit
 (** Drop every queued event, recycling all slots. *)

@@ -1,4 +1,25 @@
-type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+(* xoshiro256** seeded through splitmix64.
+
+   The four 64-bit state words live in a 32-byte buffer rather than a
+   record of [mutable int64] fields: the bytes primitives below compile
+   to raw unboxed loads and stores, so stepping the generator allocates
+   nothing.  (A mutable [int64] record field boxes every store — four
+   boxes per draw — and the spraying policies draw once per forwarded
+   packet.)  The algorithm is untouched, so every stream is
+   bit-identical to the record-based representation. *)
+
+external b_get : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external b_set : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+
+type t = Bytes.t
+
+let of_quad s0 s1 s2 s3 =
+  let b = Bytes.create 32 in
+  b_set b 0 s0;
+  b_set b 8 s1;
+  b_set b 16 s2;
+  b_set b 24 s3;
+  b
 
 (* splitmix64, used to expand a seed into xoshiro state. *)
 let splitmix_next state =
@@ -15,22 +36,32 @@ let create ~seed =
   let s1 = splitmix_next st in
   let s2 = splitmix_next st in
   let s3 = splitmix_next st in
-  { s0; s1; s2; s3 }
+  of_quad s0 s1 s2 s3
 
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 
-(* xoshiro256** next *)
+(* xoshiro256** next.  The sequential state updates of the reference
+   implementation are expressed as shadowing lets (each reads the values
+   the field stores would have produced), ending in four raw stores. *)
 let int64 t =
   let open Int64 in
-  let result = mul (rotl (mul t.s1 5L) 7) 9L in
-  let tmp = shift_left t.s1 17 in
-  t.s2 <- logxor t.s2 t.s0;
-  t.s3 <- logxor t.s3 t.s1;
-  t.s1 <- logxor t.s1 t.s2;
-  t.s0 <- logxor t.s0 t.s3;
-  t.s2 <- logxor t.s2 tmp;
-  t.s3 <- rotl t.s3 45;
+  let s0 = b_get t 0
+  and s1 = b_get t 8
+  and s2 = b_get t 16
+  and s3 = b_get t 24 in
+  let result = mul (rotl (mul s1 5L) 7) 9L in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  b_set t 0 s0;
+  b_set t 8 s1;
+  b_set t 16 s2;
+  b_set t 24 s3;
   result
 
 let split t =
@@ -39,7 +70,7 @@ let split t =
   let s1 = splitmix_next st in
   let s2 = splitmix_next st in
   let s3 = splitmix_next st in
-  { s0; s1; s2; s3 }
+  of_quad s0 s1 s2 s3
 
 let substream ~seed ~index =
   (* Pure derivation: mix the index into the seed through two rounds of
@@ -55,16 +86,56 @@ let substream ~seed ~index =
   let s1 = splitmix_next st in
   let s2 = splitmix_next st in
   let s3 = splitmix_next st in
-  { s0; s1; s2; s3 }
+  of_quad s0 s1 s2 s3
+
+(* [int] and [float] repeat the step body instead of calling [int64]:
+   without flambda a cross-function [int64] result is boxed (one minor
+   block per draw, and spraying draws once per forwarded packet), while
+   within one function ocamlopt keeps the whole chain in registers —
+   these two are allocation-free. *)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 1) land max_int in
+  let open Int64 in
+  let s0 = b_get t 0
+  and s1 = b_get t 8
+  and s2 = b_get t 16
+  and s3 = b_get t 24 in
+  let result = mul (rotl (mul s1 5L) 7) 9L in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  b_set t 0 s0;
+  b_set t 8 s1;
+  b_set t 16 s2;
+  b_set t 24 s3;
+  let v = Int64.to_int (shift_right_logical result 1) land Stdlib.max_int in
   v mod bound
 
 let float t =
   (* 53 high-quality bits -> [0, 1) *)
-  let v = Int64.shift_right_logical (int64 t) 11 in
+  let open Int64 in
+  let s0 = b_get t 0
+  and s1 = b_get t 8
+  and s2 = b_get t 16
+  and s3 = b_get t 24 in
+  let result = mul (rotl (mul s1 5L) 7) 9L in
+  let tmp = shift_left s1 17 in
+  let s2 = logxor s2 s0 in
+  let s3 = logxor s3 s1 in
+  let s1 = logxor s1 s2 in
+  let s0 = logxor s0 s3 in
+  let s2 = logxor s2 tmp in
+  let s3 = rotl s3 45 in
+  b_set t 0 s0;
+  b_set t 8 s1;
+  b_set t 16 s2;
+  b_set t 24 s3;
+  let v = shift_right_logical result 11 in
   Int64.to_float v *. (1. /. 9007199254740992.)
 
 let bool t = Int64.logand (int64 t) 1L = 1L

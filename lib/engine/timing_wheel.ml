@@ -1,0 +1,337 @@
+(* Three-level hierarchical timing wheel over integer nanosecond ticks.
+
+   Level 0 is 256 slots of one tick each and holds every pending time in
+   the cursor's current 256-tick window; level 1 is 256 slots of 256
+   ticks and holds the rest of the cursor's current 65536-tick chunk;
+   level 2 is 256 slots of 65536 ticks and holds the rest of the
+   cursor's current 2^24-tick (~16.7ms) epoch — wide enough that every
+   periodic timer in the simulator (DCQCN alpha/TI, NACK hold-off, RTO)
+   files into the wheel rather than the overflow heap.  Times outside
+   the epoch (or behind the cursor) are not coverable — [add] refuses
+   them and the caller keeps those events in its overflow heap (see
+   {!Event_queue}).
+
+   The wheel is intrusive: the payload value [s] passed to [add] (an
+   {!Event_queue} arena slot id, < 2^24) doubles as the node index, so
+   the wheel allocates nothing and keeps no freelist.  A node is one int
+   in [nodes]: the time relative to the epoch base (24 bits, shifted
+   left 24) packed with the next-in-slot link (24 bits, [nil] when
+   last).  Slot lists pack head and tail the same way in one int of
+   [l0_ht]/[l1_ht]/[l2_ht] (-1 when empty), so the steady-state add/pop
+   path touches three cache lines: the node, the slot word, and the
+   (hot) occupancy bitmap.
+
+   Because a level-0 slot pins the full time value (high bits fixed by
+   the chunk, low bits by the slot index), a slot's list holds exactly
+   one timestamp and append order is insertion order — which is how the
+   wheel preserves the engine's (time, seq) FIFO tie-break without ever
+   storing or comparing sequence numbers: every producer that feeds a
+   slot (direct adds, cascades from the levels above, heap migration via
+   the caller) appends in ascending insertion order (see the ordering
+   argument in DESIGN.md §15). *)
+
+let l0_slots = 256
+let l0_mask = l0_slots - 1
+let l1_shift = 8
+let chunk_shift = 16
+let epoch_shift = 24
+let rel_max = (1 lsl epoch_shift) - 1
+let nil = 0xFFFFFF (* 24-bit null link; arena slots are < 2^24 *)
+
+type t = {
+  (* nodes.(s) = (rel_time lsl 24) lor next; valid only while [s] is
+     wheel-resident.  Indexed by the caller's slot id — grown via
+     [ensure_capacity] alongside the caller's arena. *)
+  mutable nodes : int array;
+  (* Slot words: head lor (tail lsl 24), -1 when empty. *)
+  l0_ht : int array;
+  l1_ht : int array;
+  l2_ht : int array;
+  (* Occupancy bitmaps as 8 words of 32 bits per level, plus one summary
+     bit per word, so the cursor scan skips empty runs 32 slots at a
+     time and never walks empty words. *)
+  l0_bits : int array;
+  l1_bits : int array;
+  l2_bits : int array;
+  mutable l0_sum : int;
+  mutable l1_sum : int;
+  mutable l2_sum : int;
+  mutable cursor : int;  (* absolute tick; every resident time >= cursor *)
+  mutable epoch_base : int;  (* (cursor lsr 24) lsl 24, kept by [jump] *)
+  mutable count : int;
+}
+
+let create ?(capacity = 256) () =
+  let cap = if capacity < 16 then 16 else capacity in
+  {
+    nodes = Array.make cap 0;
+    l0_ht = Array.make l0_slots (-1);
+    l1_ht = Array.make l0_slots (-1);
+    l2_ht = Array.make l0_slots (-1);
+    l0_bits = Array.make 8 0;
+    l1_bits = Array.make 8 0;
+    l2_bits = Array.make 8 0;
+    l0_sum = 0;
+    l1_sum = 0;
+    l2_sum = 0;
+    cursor = 0;
+    epoch_base = 0;
+    count = 0;
+  }
+
+let count t = t.count
+let is_empty t = t.count = 0
+let cursor t = t.cursor
+
+let ensure_capacity t n =
+  let cap = Array.length t.nodes in
+  if n > cap then begin
+    let ncap = ref (2 * cap) in
+    while !ncap < n do
+      ncap := 2 * !ncap
+    done;
+    let dst = Array.make !ncap 0 in
+    Array.blit t.nodes 0 dst 0 cap;
+    t.nodes <- dst
+  end
+
+(* First set bit of a non-zero 32-bit word: isolate the lowest bit and
+   index a table via the classic de Bruijn multiply.  The isolated bit
+   is at most 2^31, so the 63-bit product is exact and the explicit
+   [land 0xFFFFFFFF] reproduces the 32-bit truncation the sequence
+   relies on.  Branch-free, and — unlike a [mod]-by-prime residue
+   table — free of the idiv that ocamlopt emits for a non-power-of-two
+   modulus (this runs several times per event pop). *)
+let debruijn32 = 0x077CB531
+
+let ffs_tbl =
+  let tbl = Array.make 32 (-1) in
+  for i = 0 to 31 do
+    tbl.((((1 lsl i) * debruijn32) land 0xFFFFFFFF) lsr 27) <- i
+  done;
+  tbl
+
+let[@inline] ffs w =
+  Array.unsafe_get ffs_tbl ((((w land -w) * debruijn32) land 0xFFFFFFFF) lsr 27)
+
+(* Lowest occupied slot index >= [from] in a 256-bit level bitmap, or
+   -1.  [sum] has one bit per bitmap word, so after the (usually
+   hitting) first-word probe the scan is a single ffs on the summary —
+   never a walk over empty words. *)
+let scan_bits bits sum from =
+  if from > l0_mask then -1
+  else begin
+    let w = from lsr 5 in
+    let masked =
+      Array.unsafe_get bits w land (-1 lsl (from land 31)) land 0xFFFFFFFF
+    in
+    if masked <> 0 then (w lsl 5) lor ffs masked
+    else begin
+      let rest = sum land (-2 lsl w) in
+      if rest = 0 then -1
+      else begin
+        let w' = ffs rest in
+        (w' lsl 5) lor ffs (Array.unsafe_get bits w')
+      end
+    end
+  end
+
+let append_l0 t slot s rel =
+  Array.unsafe_set t.nodes s ((rel lsl 24) lor nil);
+  let ht = Array.unsafe_get t.l0_ht slot in
+  if ht < 0 then begin
+    t.l0_ht.(slot) <- s lor (s lsl 24);
+    let w = slot lsr 5 in
+    t.l0_bits.(w) <- t.l0_bits.(w) lor (1 lsl (slot land 31));
+    t.l0_sum <- t.l0_sum lor (1 lsl w)
+  end
+  else begin
+    let tail = ht lsr 24 in
+    t.nodes.(tail) <- (Array.unsafe_get t.nodes tail land lnot nil) lor s;
+    t.l0_ht.(slot) <- (ht land nil) lor (s lsl 24)
+  end
+
+let append_l1 t slot s rel =
+  Array.unsafe_set t.nodes s ((rel lsl 24) lor nil);
+  let ht = Array.unsafe_get t.l1_ht slot in
+  if ht < 0 then begin
+    t.l1_ht.(slot) <- s lor (s lsl 24);
+    let w = slot lsr 5 in
+    t.l1_bits.(w) <- t.l1_bits.(w) lor (1 lsl (slot land 31));
+    t.l1_sum <- t.l1_sum lor (1 lsl w)
+  end
+  else begin
+    let tail = ht lsr 24 in
+    t.nodes.(tail) <- (Array.unsafe_get t.nodes tail land lnot nil) lor s;
+    t.l1_ht.(slot) <- (ht land nil) lor (s lsl 24)
+  end
+
+let append_l2 t slot s rel =
+  Array.unsafe_set t.nodes s ((rel lsl 24) lor nil);
+  let ht = Array.unsafe_get t.l2_ht slot in
+  if ht < 0 then begin
+    t.l2_ht.(slot) <- s lor (s lsl 24);
+    let w = slot lsr 5 in
+    t.l2_bits.(w) <- t.l2_bits.(w) lor (1 lsl (slot land 31));
+    t.l2_sum <- t.l2_sum lor (1 lsl w)
+  end
+  else begin
+    let tail = ht lsr 24 in
+    t.nodes.(tail) <- (Array.unsafe_get t.nodes tail land lnot nil) lor s;
+    t.l2_ht.(slot) <- (ht land nil) lor (s lsl 24)
+  end
+
+let add t ~time s =
+  if time < t.cursor then false
+  else begin
+    let rel = time - t.epoch_base in
+    if rel > rel_max then false
+    else begin
+      if time lsr l1_shift = t.cursor lsr l1_shift then
+        append_l0 t (time land l0_mask) s rel
+      else if time lsr chunk_shift = t.cursor lsr chunk_shift then
+        append_l1 t ((rel lsr l1_shift) land l0_mask) s rel
+      else append_l2 t (rel lsr chunk_shift) s rel;
+      t.count <- t.count + 1;
+      true
+    end
+  end
+
+(* Redistribute a parent slot into the level below.  Walk order is
+   append order, so each destination slot receives its sublist in the
+   original insertion order.  The relinkers recurse at top level rather
+   than looping over a [ref] — cascades run every 256 ticks and must not
+   allocate. *)
+let rec relink0 t node =
+  if node <> nil then begin
+    let packed = Array.unsafe_get t.nodes node in
+    let next = packed land nil in
+    let rel = packed lsr 24 in
+    append_l0 t (rel land l0_mask) node rel;
+    relink0 t next
+  end
+
+let rec relink1 t node =
+  if node <> nil then begin
+    let packed = Array.unsafe_get t.nodes node in
+    let next = packed land nil in
+    let rel = packed lsr 24 in
+    append_l1 t ((rel lsr l1_shift) land l0_mask) node rel;
+    relink1 t next
+  end
+
+let cascade_l1 t j =
+  let ht = t.l1_ht.(j) in
+  t.l1_ht.(j) <- -1;
+  let w = j lsr 5 in
+  let word = t.l1_bits.(w) land lnot (1 lsl (j land 31)) in
+  t.l1_bits.(w) <- word;
+  if word = 0 then t.l1_sum <- t.l1_sum land lnot (1 lsl w);
+  relink0 t (ht land nil)
+
+let cascade_l2 t k =
+  let ht = t.l2_ht.(k) in
+  t.l2_ht.(k) <- -1;
+  let w = k lsr 5 in
+  let word = t.l2_bits.(w) land lnot (1 lsl (k land 31)) in
+  t.l2_bits.(w) <- word;
+  if word = 0 then t.l2_sum <- t.l2_sum land lnot (1 lsl w);
+  relink1 t (ht land nil)
+
+(* Advance the cursor to the earliest resident time.  Cascades level-1
+   slots as the cursor crosses their 256-tick windows and level-2 slots
+   as it crosses 65536-tick chunks; never leaves the current epoch
+   (epoch entry is the caller's [jump], which also migrates heap
+   overflow).  [l1_from] is where the level-1 scan resumes: one past the
+   cursor's own window normally, but 0 right after a level-2 cascade —
+   the cascaded chunk's first window lands in level-1 slot 0, which IS
+   the cursor's window then. *)
+let rec advance t l1_from =
+  match scan_bits t.l0_bits t.l0_sum (t.cursor land l0_mask) with
+  | s when s >= 0 ->
+      t.cursor <- t.cursor land lnot l0_mask lor s;
+      t.cursor
+  | _ -> (
+      match scan_bits t.l1_bits t.l1_sum l1_from with
+      | j when j >= 0 ->
+          cascade_l1 t j;
+          t.cursor <- ((t.cursor lsr chunk_shift) lsl chunk_shift)
+                      lor (j lsl l1_shift);
+          advance t (j + 1)
+      | _ -> (
+          match
+            scan_bits t.l2_bits t.l2_sum
+              (((t.cursor lsr chunk_shift) land l0_mask) + 1)
+          with
+          | k when k >= 0 ->
+              cascade_l2 t k;
+              t.cursor <- t.epoch_base lor (k lsl chunk_shift);
+              advance t 0
+          | _ ->
+              (* count > 0 but all levels empty is an invariant break. *)
+              assert false))
+
+let next_time t =
+  if t.count = 0 then -1
+  else advance t (((t.cursor lsr l1_shift) land l0_mask) + 1)
+
+(* Payload of the head event at the cursor slot; requires a preceding
+   [next_time] that returned >= 0. *)
+let peek_val t = t.l0_ht.(t.cursor land l0_mask) land nil
+
+let pop t =
+  let slot = t.cursor land l0_mask in
+  let ht = t.l0_ht.(slot) in
+  let n = ht land nil in
+  let nx = Array.unsafe_get t.nodes n land nil in
+  if nx = nil then begin
+    t.l0_ht.(slot) <- -1;
+    let w = slot lsr 5 in
+    let word = t.l0_bits.(w) land lnot (1 lsl (slot land 31)) in
+    t.l0_bits.(w) <- word;
+    if word = 0 then t.l0_sum <- t.l0_sum land lnot (1 lsl w)
+  end
+  else t.l0_ht.(slot) <- (ht land lnot nil) lor nx;
+  t.count <- t.count - 1;
+  n
+
+(* Is the cursor's level-0 slot still occupied?  After a [pop], a [true]
+   here means the next event shares the exact time just served — the
+   caller can keep its cached decision and skip the rescan. *)
+let[@inline] cursor_occupied t = t.l0_ht.(t.cursor land l0_mask) >= 0
+
+(* Move the cursor forward to the start of [time]'s epoch so a migration
+   of that epoch's overflow events becomes coverable.  Only meaningful on
+   an empty wheel (nothing can be left behind); the cursor never moves
+   backwards. *)
+let jump t time =
+  assert (t.count = 0);
+  let epoch_start = (time lsr epoch_shift) lsl epoch_shift in
+  if epoch_start > t.cursor then begin
+    t.cursor <- epoch_start;
+    t.epoch_base <- epoch_start
+  end
+
+let drain_all t f =
+  let drain_level ht bits =
+    for slot = 0 to l0_slots - 1 do
+      let htv = ht.(slot) in
+      if htv >= 0 then begin
+        let n = ref (htv land nil) in
+        while !n <> nil do
+          let node = !n in
+          n := t.nodes.(node) land nil;
+          f node
+        done;
+        ht.(slot) <- -1
+      end
+    done;
+    Array.fill bits 0 8 0
+  in
+  drain_level t.l0_ht t.l0_bits;
+  drain_level t.l1_ht t.l1_bits;
+  drain_level t.l2_ht t.l2_bits;
+  t.l0_sum <- 0;
+  t.l1_sum <- 0;
+  t.l2_sum <- 0;
+  t.count <- 0

@@ -240,13 +240,10 @@ let set_paused t p =
 let paused t = t.paused
 
 let flush_discard t q =
-  Fifo.iter
-    (fun pkt ->
+  Fifo.drain q (fun pkt ->
       record_drop t pkt Event.Link_down;
       t.on_discard pkt;
       Packet_pool.release pkt)
-    q;
-  Fifo.clear q
 
 let set_up t up =
   t.up <- up;

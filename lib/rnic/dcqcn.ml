@@ -41,7 +41,13 @@ type t = {
   line_rate : Rate.t;
   mutable rc : Rate.t;
   mutable rt : Rate.t;
-  mutable alpha : float;
+  (* One-element array rather than a mutable field: in this mixed record
+     a [mutable alpha : float] is a boxed float, so the 55µs decay timer
+     — the single most frequent event in a converged run — would
+     allocate on every store.  Flat float-array storage keeps the IEEE
+     arithmetic (and hence every frozen trace) bit-identical while
+     making the store allocation-free. *)
+  alpha : float array;
   mutable last_decrease : Sim_time.t;
   mutable last_nack_decrease : Sim_time.t;
   mutable stage : int;
@@ -56,7 +62,7 @@ type t = {
 
 let rate t = t.rc
 let target t = t.rt
-let alpha t = t.alpha
+let alpha t = t.alpha.(0)
 let decreases t = t.decreases
 
 let at_line_rate t = Rate.compare t.rc t.line_rate >= 0
@@ -97,8 +103,9 @@ and reschedule_increase t =
       t.cb_increase ~a:0 ~b:0 ~obj:(Obj.repr ())
 
 and alpha_decay t =
-  t.alpha <- (1. -. t.cfg.g) *. t.alpha;
-  if t.alpha > 1e-4 then reschedule_alpha t else t.alpha_handle <- Engine.none
+  let a = (1. -. t.cfg.g) *. Array.unsafe_get t.alpha 0 in
+  Array.unsafe_set t.alpha 0 a;
+  if a > 1e-4 then reschedule_alpha t else t.alpha_handle <- Engine.none
 
 and reschedule_alpha t =
   Engine.cancel t.engine t.alpha_handle;
@@ -115,7 +122,7 @@ let create ~engine ?conn ~config ~line_rate () =
     line_rate;
     rc = line_rate;
     rt = line_rate;
-    alpha = 1.;
+    alpha = [| 1. |];
     last_decrease = Sim_time.ns (-1_000_000_000);
     last_nack_decrease = Sim_time.ns (-1_000_000_000);
     stage = 0;
@@ -164,7 +171,7 @@ let decrease ?(gate = `Td) t ~factor =
     | `Nack -> t.last_nack_decrease <- now
     | `Td -> ());
     t.decreases <- t.decreases + 1;
-    t.alpha <- ((1. -. t.cfg.g) *. t.alpha) +. t.cfg.g;
+    t.alpha.(0) <- ((1. -. t.cfg.g) *. t.alpha.(0)) +. t.cfg.g;
     t.rt <- t.rc;
     t.rc <- Rate.scale t.rc factor;
     t.stage <- 0;
@@ -174,7 +181,7 @@ let decrease ?(gate = `Td) t ~factor =
     reschedule_alpha t
   end
 
-let on_cnp t = decrease t ~factor:(1. -. (t.alpha /. 2.))
+let on_cnp t = decrease t ~factor:(1. -. (t.alpha.(0) /. 2.))
 
 let on_nack t =
   if t.cfg.nack_slow_start then decrease ~gate:`Nack t ~factor:t.cfg.nack_factor

@@ -24,12 +24,12 @@ type t = {
   cfg : config;
   cc : Dcqcn.t;
   transmit : Packet.t -> unit;
-  msgs : msg Queue.t;
+  msgs : msg Fifo.t;
   mutable next_seq : int;  (* next sequence the send loop will consider *)
   mutable max_sent : int;  (* highest sequence ever transmitted *)
   mutable una : int;  (* lowest unacknowledged sequence *)
   mutable end_seq : int;  (* first sequence beyond all posted data *)
-  retx : int Queue.t;
+  retx : int Fifo.t;
   retx_pending : (int, unit) Hashtbl.t;
   mutable pacing : bool;
   mutable rto_handle : Engine.handle;
@@ -64,30 +64,35 @@ let cnps_received t = t.cnps_rx
 let timeouts t = t.timeouts
 let bytes_completed t = t.bytes_completed
 
-(* Locate the message containing [seq] to derive its payload size and
-   whether it ends a message.  Only active (not fully acked) messages are
-   in the queue, and retransmissions are never below [una], so a linear
-   scan over the few active messages suffices. *)
-let payload_of t seq =
-  let found = ref None in
-  Queue.iter
-    (fun m ->
-      if !found = None && seq >= m.start && seq < m.start + m.packets then
-        found := Some m)
-    t.msgs;
-  match !found with
-  | None ->
-      invalid_arg
-        (Printf.sprintf
-           "Sender: sequence %d not in any active message (una=%d next=%d \
-            end=%d msgs=%d)"
-           seq t.una t.next_seq t.end_seq (Queue.length t.msgs))
-  | Some m ->
-      let last = seq = m.start + m.packets - 1 in
-      let payload =
-        if last then m.bytes - ((m.packets - 1) * t.cfg.mtu) else t.cfg.mtu
-      in
-      (payload, last)
+(* Locate the message containing [seq].  Only active (not fully acked)
+   messages are in the ring, and retransmissions are never below [una],
+   so an early-exit indexed scan over the few active messages suffices —
+   no iteration closure, no option, nothing allocated. *)
+let rec msg_find t seq n i =
+  if i >= n then
+    invalid_arg
+      (Printf.sprintf
+         "Sender: sequence %d not in any active message (una=%d next=%d \
+          end=%d msgs=%d)"
+         seq t.una t.next_seq t.end_seq n)
+  else begin
+    let m = Fifo.get t.msgs i in
+    if seq >= m.start && seq < m.start + m.packets then m
+    else msg_find t seq n (i + 1)
+  end
+
+(* Top-level recursion, not a local [let rec]: without flambda a local
+   recursive function capturing [t] allocates its closure on every call,
+   and this runs once per transmitted packet. *)
+let msg_of t seq = msg_find t seq (Fifo.length t.msgs) 0
+
+let rec pick_retx t =
+  if Fifo.is_empty t.retx then -1
+  else begin
+    let seq = Fifo.pop t.retx in
+    Hashtbl.remove t.retx_pending seq;
+    if seq >= t.una then (seq lsl 1) lor 1 else pick_retx t
+  end
 
 let cancel_rto t =
   Engine.cancel t.engine t.rto_handle;
@@ -112,48 +117,49 @@ and on_rto t =
     | Sr_retx ->
         if not (Hashtbl.mem t.retx_pending t.una) then begin
           Hashtbl.add t.retx_pending t.una ();
-          Queue.add t.una t.retx
+          Fifo.push t.retx t.una
         end
     | Gbn_retx ->
         t.next_seq <- t.una;
-        Queue.clear t.retx;
+        Fifo.clear t.retx;
         Hashtbl.reset t.retx_pending);
     Dcqcn.on_timeout t.cc;
     arm_rto t;
     try_send t
   end
 
+(* Next sequence to transmit, encoded as [(seq lsl 1) lor retx_flag], or
+   -1 when nothing is sendable — the per-packet pick allocates neither
+   an option nor a tuple (like [msg_find], the retransmission scan is a
+   top-level recursion so no closure is built per pick). *)
 and pick_next t =
   (* Retransmissions take priority; stale entries (already acked) are
      discarded on the way. *)
-  let rec from_retx () =
-    match Queue.take_opt t.retx with
-    | None -> None
-    | Some seq ->
-        Hashtbl.remove t.retx_pending seq;
-        if seq >= t.una then Some (seq, true) else from_retx ()
-  in
-  match from_retx () with
-  | Some _ as r -> r
-  | None ->
-      if t.next_seq < t.end_seq && t.next_seq - t.una < t.cfg.window then begin
-        let seq = t.next_seq in
-        t.next_seq <- t.next_seq + 1;
-        Some (seq, false)
-      end
-      else None
+  let r = pick_retx t in
+  if r >= 0 then r
+  else if t.next_seq < t.end_seq && t.next_seq - t.una < t.cfg.window then begin
+    let seq = t.next_seq in
+    t.next_seq <- t.next_seq + 1;
+    seq lsl 1
+  end
+  else -1
 
 and try_send t =
   if not t.pacing then begin
-    match pick_next t with
-    | None -> ()
-    | Some (seq, retx_queued) ->
+    let picked = pick_next t in
+    if picked >= 0 then begin
+        let seq = picked lsr 1 in
+        let retx_queued = picked land 1 = 1 in
         (* A GBN rewind re-walks already-sent sequences through the
            "fresh" path; anything at or below the high-water mark is a
            retransmission regardless of how it was picked. *)
         let is_retx = retx_queued || seq <= t.max_sent in
         if seq > t.max_sent then t.max_sent <- seq;
-        let payload, last = payload_of t seq in
+        let m = msg_of t seq in
+        let last = seq = m.start + m.packets - 1 in
+        let payload =
+          if last then m.bytes - ((m.packets - 1) * t.cfg.mtu) else t.cfg.mtu
+        in
         let pkt =
           Packet_pool.data ~conn:t.conn ~conn_id:t.conn_id ~sport:t.sport
             ~psn:(Psn.of_int seq)
@@ -193,6 +199,7 @@ and try_send t =
         ignore
           (Engine.schedule_call t.engine ~delay:gap t.cb_pace ~a:0 ~b:0
              ~obj:(Obj.repr ()))
+    end
   end
 
 let create ~engine ~conn ~sport ~config ~line_rate ~transmit =
@@ -207,12 +214,12 @@ let create ~engine ~conn ~sport ~config ~line_rate ~transmit =
     cfg = config;
     cc = Dcqcn.create ~engine ~conn ~config:config.cc ~line_rate ();
     transmit;
-    msgs = Queue.create ();
+    msgs = Fifo.create ~capacity:8 ();
     next_seq = 0;
     max_sent = -1;
     una = 0;
     end_seq = 0;
-    retx = Queue.create ();
+    retx = Fifo.create ~capacity:16 ();
     retx_pending = Hashtbl.create 16;
     pacing = false;
     rto_handle = Engine.none;
@@ -239,32 +246,30 @@ let create ~engine ~conn ~sport ~config ~line_rate ~transmit =
 let post t ~bytes ~on_complete =
   if bytes <= 0 then invalid_arg "Sender.post: bytes must be positive";
   let packets = (bytes + t.cfg.mtu - 1) / t.cfg.mtu in
-  Queue.add
+  Fifo.push t.msgs
     { start = t.end_seq; packets; bytes; posted = Engine.now t.engine;
-      on_complete }
-    t.msgs;
+      on_complete };
   t.end_seq <- t.end_seq + packets;
   try_send t
 
-let complete_msgs t =
-  let rec loop () =
-    match Queue.peek_opt t.msgs with
-    | Some m when t.una >= m.start + m.packets ->
-        ignore (Queue.pop t.msgs);
-        t.bytes_completed <- t.bytes_completed + m.bytes;
-        let now = Engine.now t.engine in
-        if Telemetry.enabled () then begin
-          let fct_us = Sim_time.to_us (now - m.posted) in
-          Telemetry.incr_counter "flows_completed";
-          Telemetry.observe "fct_us" fct_us;
-          Telemetry.record ~time:now
-            (Event.Flow_complete { conn = t.conn; bytes = m.bytes; fct_us })
-        end;
-        m.on_complete now;
-        loop ()
-    | Some _ | None -> ()
-  in
-  loop ()
+let rec complete_msgs t =
+  if not (Fifo.is_empty t.msgs) then begin
+    let m = Fifo.peek t.msgs in
+    if t.una >= m.start + m.packets then begin
+      ignore (Fifo.pop t.msgs);
+      t.bytes_completed <- t.bytes_completed + m.bytes;
+      let now = Engine.now t.engine in
+      if Telemetry.enabled () then begin
+        let fct_us = Sim_time.to_us (now - m.posted) in
+        Telemetry.incr_counter "flows_completed";
+        Telemetry.observe "fct_us" fct_us;
+        Telemetry.record ~time:now
+          (Event.Flow_complete { conn = t.conn; bytes = m.bytes; fct_us })
+      end;
+      m.on_complete now;
+      complete_msgs t
+    end
+  end
 
 let advance_una t seq =
   if seq > t.una then begin
@@ -274,7 +279,7 @@ let advance_una t seq =
        so the send cursor may not lag behind it. *)
     if t.next_seq < t.una then t.next_seq <- t.una;
     complete_msgs t;
-    if t.una >= t.next_seq && Queue.is_empty t.retx then cancel_rto t
+    if t.una >= t.next_seq && Fifo.is_empty t.retx then cancel_rto t
     else arm_rto t
   end
 
@@ -296,13 +301,13 @@ let on_nack t psn =
         && not (Hashtbl.mem t.retx_pending seq)
       then begin
         Hashtbl.add t.retx_pending seq ();
-        Queue.add seq t.retx
+        Fifo.push t.retx seq
       end
   | Gbn_retx ->
       (* Go back: rewind and resend everything from the ePSN. *)
       if seq < t.next_seq then begin
         t.next_seq <- Stdlib.max seq t.una;
-        Queue.clear t.retx;
+        Fifo.clear t.retx;
         Hashtbl.reset t.retx_pending
       end);
   (* The slow start the paper blames: a NACK is treated as congestion. *)

@@ -411,6 +411,12 @@ let receive t pkt =
       (Engine.schedule_call t.engine ~delay:t.cfg.fwd_delay t.cb_process ~a:0
          ~b:0 ~obj:(Obj.repr pkt))
 
+(* Batched arrival: one activation drains a whole lane of packets
+   through the compiled forwarding arrays.  Per-packet semantics
+   (Themis-D interception, LB choice, ECN, counters) are exactly
+   [receive] in FIFO order — the batch only amortizes the activation. *)
+let receive_batch t lane = Fifo.drain lane (fun pkt -> receive t pkt)
+
 let inject t pkt =
   if t.cfg.fwd_delay = Sim_time.zero then forward t pkt
   else

@@ -55,17 +55,19 @@ let test_interleaved () =
   Alcotest.(check bool) "pop a" true (pop q = Some (3, 1))
 
 let test_capacity_honored () =
-  (* The preallocation hint is honored: no growth below it, doubling
-     beyond it. *)
+  (* The preallocation hint is honored for the overflow heap: no growth
+     below it, doubling beyond it.  Times beyond the wheel's current
+     2^24-tick epoch overflow to the heap, so far-future adds are what
+     exercise its growth. *)
   let q = Event_queue.create ~capacity:128 () in
   Alcotest.(check int) "preallocated" 128 (Event_queue.capacity q);
   for i = 1 to 128 do
-    ignore (add q ~time:i i)
+    ignore (add q ~time:(100_000_000 + i) i)
   done;
   Alcotest.(check int) "no growth at hint" 128 (Event_queue.capacity q);
-  ignore (add q ~time:0 0);
+  ignore (add q ~time:99_999_999 0);
   Alcotest.(check int) "doubled past hint" 256 (Event_queue.capacity q);
-  Alcotest.(check bool) "still ordered" true (pop q = Some (0, 0))
+  Alcotest.(check bool) "still ordered" true (pop q = Some (99_999_999, 0))
 
 let test_growth () =
   let q = Event_queue.create ~capacity:4 () in
@@ -136,10 +138,14 @@ let test_clear () =
 type op = Add of int | Cancel of int | Pop
 
 let op_gen =
+  (* Small times stress the wheel's level-0 band and FIFO ties; the
+     large band straddles several 65536-tick chunks so adds overflow to
+     the heap and migrate back down across pops. *)
   QCheck.Gen.(
     frequency
       [
         (5, map (fun t -> Add t) (int_range 0 30));
+        (2, map (fun t -> Add t) (int_range 0 300_000));
         (2, map (fun i -> Cancel i) (int_range 0 40));
         (3, return Pop);
       ])

@@ -1,0 +1,298 @@
+(* The three-level hierarchical timing wheel (DESIGN.md §15): direct
+   unit tests on the wheel itself, a qcheck model of the full
+   wheel+overflow-heap queue against a sorted-list oracle with
+   epoch-crossing times, and a serial==windowed identity run driving
+   wheel drains through Shard.advance lockstep windows. *)
+
+let epoch = 1 lsl 24
+
+(* ---------------- direct wheel tests ---------------- *)
+
+let test_fifo_ties () =
+  (* Same-time payloads pop in insertion order: a level-0 slot pins the
+     exact timestamp and appends at the tail. *)
+  let w = Timing_wheel.create ~capacity:16 () in
+  for s = 0 to 4 do
+    Alcotest.(check bool) "accepted" true (Timing_wheel.add w ~time:7 s)
+  done;
+  Alcotest.(check int) "count" 5 (Timing_wheel.count w);
+  for s = 0 to 4 do
+    Alcotest.(check int) "head time" 7 (Timing_wheel.next_time w);
+    Alcotest.(check int) "fifo" s (Timing_wheel.pop w)
+  done;
+  Alcotest.(check bool) "empty" true (Timing_wheel.is_empty w);
+  Alcotest.(check int) "empty next" (-1) (Timing_wheel.next_time w)
+
+let test_past_rejected () =
+  let w = Timing_wheel.create ~capacity:4 () in
+  ignore (Timing_wheel.add w ~time:1000 0);
+  Alcotest.(check int) "advance" 1000 (Timing_wheel.next_time w);
+  ignore (Timing_wheel.pop w);
+  (* The cursor now sits at 1000: anything behind it is refused and the
+     wheel is left untouched. *)
+  Alcotest.(check bool) "past refused" false (Timing_wheel.add w ~time:999 1);
+  Alcotest.(check int) "nothing filed" 0 (Timing_wheel.count w);
+  Alcotest.(check bool) "cursor time ok" true (Timing_wheel.add w ~time:1000 1);
+  Alcotest.(check int) "same tick pops" 1000 (Timing_wheel.next_time w);
+  Alcotest.(check int) "payload" 1 (Timing_wheel.pop w)
+
+let test_epoch_rejected_and_jump () =
+  let w = Timing_wheel.create ~capacity:4 () in
+  (* Beyond the cursor's 2^24-tick epoch the wheel refuses: that band
+     belongs to the caller's overflow heap. *)
+  Alcotest.(check bool) "beyond epoch" false (Timing_wheel.add w ~time:epoch 0);
+  Alcotest.(check bool) "last in-epoch tick" true
+    (Timing_wheel.add w ~time:(epoch - 1) 0);
+  Alcotest.(check int) "served" (epoch - 1) (Timing_wheel.next_time w);
+  Alcotest.(check int) "payload" 0 (Timing_wheel.pop w);
+  (* Empty wheel: jump migrates the cursor to a far epoch, after which
+     that epoch's band is acceptable and the old one is behind. *)
+  Timing_wheel.jump w (5 * epoch);
+  Alcotest.(check bool) "new epoch ok" true
+    (Timing_wheel.add w ~time:((5 * epoch) + 123) 1);
+  Alcotest.(check bool) "old epoch behind" false
+    (Timing_wheel.add w ~time:(epoch + 1) 2);
+  Alcotest.(check int) "served after jump" ((5 * epoch) + 123)
+    (Timing_wheel.next_time w);
+  Alcotest.(check int) "payload after jump" 1 (Timing_wheel.pop w)
+
+let test_cascade_order () =
+  (* Times scattered across all three levels, inserted in a shuffled
+     order, must come back fully sorted with FIFO ties — cascades from
+     L2 through L1 into L0 preserve both. *)
+  let times =
+    [ 3; 300; 70_000; 3; 299; 65_536; 16_000_000; 700_000; 0; 300 ]
+  in
+  let w = Timing_wheel.create ~capacity:(List.length times) () in
+  List.iteri
+    (fun s time ->
+      Alcotest.(check bool) "accepted" true (Timing_wheel.add w ~time s))
+    times;
+  let sorted =
+    List.stable_sort
+      (fun (t1, _) (t2, _) -> compare t1 t2)
+      (List.mapi (fun s t -> (t, s)) times)
+  in
+  List.iter
+    (fun (t, s) ->
+      Alcotest.(check int) "time order" t (Timing_wheel.next_time w);
+      Alcotest.(check int) "fifo within time" s (Timing_wheel.pop w))
+    sorted;
+  Alcotest.(check bool) "drained" true (Timing_wheel.is_empty w)
+
+let test_drain_all () =
+  let w = Timing_wheel.create ~capacity:8 () in
+  List.iteri
+    (fun s t -> ignore (Timing_wheel.add w ~time:t s))
+    [ 1; 500; 100_000; 9_000_000 ];
+  let seen = ref [] in
+  Timing_wheel.drain_all w (fun s -> seen := s :: !seen);
+  Alcotest.(check int) "all delivered" 4 (List.length !seen);
+  Alcotest.(check (list int)) "payload set" [ 0; 1; 2; 3 ]
+    (List.sort compare !seen);
+  Alcotest.(check bool) "empty" true (Timing_wheel.is_empty w);
+  Alcotest.(check int) "count" 0 (Timing_wheel.count w)
+
+(* ---------------- qcheck model: wheel + overflow heap ----------------- *)
+
+(* The wheel is exercised through Event_queue, whose heap holds what the
+   wheel refuses and migrates an epoch down on demand — the model covers
+   FIFO ties, cancel-while-slotted (lazy deletion), heap->wheel
+   migration across epoch horizons, and schedule-in-past handling in one
+   operation stream.  The time generator straddles several epochs so
+   pops force [jump] + migration. *)
+
+let add q ~time v = Event_queue.add q ~time ~cb:0 ~a:v ~b:0 ~obj:(Obj.repr ())
+
+let rec pop q =
+  if Event_queue.is_empty q then None
+  else begin
+    let time = Event_queue.peek_time_unsafe q in
+    let live = not (Event_queue.top_cancelled q) in
+    let v = Event_queue.top_a q in
+    Event_queue.drop q;
+    if live then Some (time, v) else pop q
+  end
+
+type op = Add of int | Cancel of int | Pop
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (* L0 ties and dense near-future traffic. *)
+        (4, map (fun t -> Add t) (int_range 0 30));
+        (* Mid band: several L1/L2 slots within one epoch. *)
+        (2, map (fun t -> Add t) (int_range 0 3_000_000));
+        (* Far band: 5 epochs out, guaranteed heap overflow first. *)
+        (2, map (fun t -> Add t) (int_range 0 (5 * epoch)));
+        (2, map (fun i -> Cancel i) (int_range 0 50));
+        (4, return Pop);
+      ])
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (function
+             | Add t -> Printf.sprintf "add %d" t
+             | Cancel i -> Printf.sprintf "cancel #%d" i
+             | Pop -> "pop")
+           ops))
+    QCheck.Gen.(list_size (int_range 0 150) op_gen)
+
+let prop_model =
+  QCheck.Test.make
+    ~name:"model: wheel+heap equals sorted-list oracle across epochs"
+    ~count:300 ops_arb (fun ops ->
+      let q = Event_queue.create ~capacity:2 () in
+      let model = ref [] in
+      let handles = Hashtbl.create 16 in
+      let next_id = ref 0 in
+      let ok = ref true in
+      let model_pop () =
+        let live = List.filter (fun (_, _, c) -> not !c) (List.rev !model) in
+        match
+          List.stable_sort (fun (_, t1, _) (_, t2, _) -> compare t1 t2) live
+        with
+        | [] -> None
+        | (id, t, _) :: _ ->
+            model := List.filter (fun (i, _, _) -> i <> id) !model;
+            Some (t, id)
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Add t ->
+              let id = !next_id in
+              incr next_id;
+              let h = add q ~time:t id in
+              Hashtbl.replace handles id h;
+              model := (id, t, ref false) :: !model
+          | Cancel id -> (
+              match Hashtbl.find_opt handles id with
+              | None -> ()
+              | Some h ->
+                  Event_queue.cancel q h;
+                  List.iter (fun (i, _, c) -> if i = id then c := true) !model)
+          | Pop -> if pop q <> model_pop () then ok := false)
+        ops;
+      let rec drain_both () =
+        let got = pop q in
+        let want = model_pop () in
+        if got <> want then ok := false else if got <> None then drain_both ()
+      in
+      drain_both ();
+      Hashtbl.iter
+        (fun _ h -> if Event_queue.is_pending q h then ok := false)
+        handles;
+      !ok)
+
+(* ---------------- serial == windowed (Shard.advance) ------------------ *)
+
+(* One engine advanced (a) in a single [run ~until:horizon] and (b) in
+   Shard.advance lockstep windows with external arrivals injected at the
+   barriers, the way interlink drains feed a shard.  Timer events land
+   on even ticks and externals on odd ticks, so the merged (time) order
+   is unique and the fire logs must be identical — even though the
+   windowed run schedules externals mid-flight (wheel drains + epoch
+   jumps interleave with barrier-time adds) while the serial run
+   schedules them all upfront into the overflow heap. *)
+
+let horizon_t = 60_000_000 (* ~3.5 epochs *)
+let lookahead = 500_000
+
+let external_times =
+  (* Odd start, even step: every arrival tick is odd and unique, and the
+     first lies beyond the first window (externals are scheduled at the
+     barrier one lookahead ahead). *)
+  Array.init 400 (fun j -> 1_000_001 + (j * 111_112))
+
+let build_timers eng log =
+  let timers = 8 in
+  for k = 0 to timers - 1 do
+    let fires = ref 0 in
+    let rec tick () =
+      log := (Engine.now eng, k) :: !log;
+      incr fires;
+      let d =
+        if !fires land 7 = 0 then
+          (* Far-future reschedule: overflows to the heap, migrates back
+             into the wheel when its epoch arrives. *)
+          epoch + (2 * ((k * 9973) + 1))
+        else 2 * (1 + (((k * 31) + !fires) land 8191))
+      in
+      ignore (Engine.schedule eng ~delay:(Sim_time.ns d) tick)
+    in
+    ignore (Engine.schedule eng ~delay:(Sim_time.ns (2 * k)) tick)
+  done
+
+let run_serial () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  build_timers eng log;
+  Array.iteri
+    (fun j t ->
+      ignore (Engine.schedule_at eng ~time:t (fun () ->
+          log := (Engine.now eng, 1000 + j) :: !log)))
+    external_times;
+  Engine.run eng ~until:horizon_t;
+  List.rev !log
+
+let run_windowed () =
+  let eng = Engine.create () in
+  let log = ref [] in
+  build_timers eng log;
+  let barrier = Domain_barrier.create 1 in
+  let idx = ref 0 in
+  let drain ~upto =
+    (* Everything due within the next window must be filed now; arrival
+       ticks are strictly beyond [upto], as interlink stamps are. *)
+    while
+      !idx < Array.length external_times
+      && external_times.(!idx) <= upto + lookahead
+    do
+      let j = !idx in
+      incr idx;
+      ignore (Engine.schedule_at eng ~time:external_times.(j) (fun () ->
+          log := (Engine.now eng, 1000 + j) :: !log))
+    done
+  in
+  ignore
+    (Shard.advance ~barrier ~lookahead ~run:(fun ~until -> Engine.run eng ~until)
+       ~flags:(fun () -> 0)
+       ~drain ~from:0 ~until_:horizon_t ());
+  List.rev !log
+
+let test_serial_eq_windowed () =
+  let serial = run_serial () in
+  let windowed = run_windowed () in
+  Alcotest.(check int) "same event count" (List.length serial)
+    (List.length windowed);
+  Alcotest.(check bool) "identical fire logs" true (serial = windowed);
+  (* Sanity: the run is long enough to cross epochs and fire externals. *)
+  Alcotest.(check bool) "externals fired" true
+    (List.exists (fun (_, id) -> id >= 1000) serial);
+  Alcotest.(check bool) "spans epochs" true
+    (List.exists (fun (t, _) -> t > 2 * epoch) serial)
+
+let () =
+  Alcotest.run "timing_wheel"
+    [
+      ( "wheel",
+        [
+          Alcotest.test_case "fifo ties" `Quick test_fifo_ties;
+          Alcotest.test_case "past rejected" `Quick test_past_rejected;
+          Alcotest.test_case "epoch rejected + jump" `Quick
+            test_epoch_rejected_and_jump;
+          Alcotest.test_case "cascade order" `Quick test_cascade_order;
+          Alcotest.test_case "drain_all" `Quick test_drain_all;
+          QCheck_alcotest.to_alcotest prop_model;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "serial == windowed" `Quick
+            test_serial_eq_windowed;
+        ] );
+    ]
